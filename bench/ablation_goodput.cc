@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation for the abstract's efficiency claim: PROACT "achiev[es]
+ * near-ideal interconnect efficiency" while retaining fine-grained
+ * semantics. For each paradigm and application on 4x Volta, report
+ * the achieved fabric goodput (useful payload / wire bytes) next to
+ * the protocol's ideal (maximum-size packets).
+ *
+ * Expected shape: cudaMemcpy, UM and PROACT-decoupled ride at the
+ * protocol's packetized peak (~89 % on NVLink2); PROACT-inline
+ * collapses on the irregular apps (8-byte effective stores -> ~17 %).
+ */
+
+#include "bench/bench_common.hh"
+
+#include <iomanip>
+#include <iostream>
+
+using namespace proact;
+using namespace proact::bench;
+
+int
+main()
+{
+    const std::uint64_t scale = envFootprintScale();
+    const PlatformSpec platform = voltaPlatform();
+    const PacketModel packet =
+        packetModelFor(platform.fabric.protocol);
+
+    TransferConfig config;
+    config.mechanism = TransferMechanism::Polling;
+    config.chunkBytes = 128 * KiB;
+    config.transferThreads = 2048;
+
+    const std::vector<Paradigm> paradigms = {
+        Paradigm::CudaMemcpy, Paradigm::UnifiedMemory,
+        Paradigm::ProactInline, Paradigm::ProactDecoupled};
+
+    std::cout << "Ablation: achieved interconnect goodput per "
+                 "paradigm on " << platform.name << " (protocol peak "
+              << cell(100.0 * packet.efficiency(
+                                  packet.maxPayloadBytes),
+                      0, 1)
+              << "%)\n\n";
+    std::cout << std::left << std::setw(12) << "app";
+    for (const auto p : paradigms)
+        std::cout << std::right << std::setw(18) << paradigmName(p);
+    std::cout << "\n";
+
+    for (const auto &app : standardWorkloadNames()) {
+        auto workload = makeScaledWorkload(app, 4, scale);
+        std::cout << std::left << std::setw(12) << app;
+        for (const auto p : paradigms) {
+            MultiGpuSystem system(platform);
+            system.setFunctional(false);
+            makeRuntime(p, system, config)->run(*workload);
+            const double goodput =
+                static_cast<double>(
+                    system.fabric().totalPayloadBytes())
+                / static_cast<double>(
+                      system.fabric().totalWireBytes());
+            std::cout << cell(100.0 * goodput, 17, 1) << "%";
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n(PROACT-decoupled matches bulk-DMA efficiency "
+                 "while keeping fine-grained semantics; inline "
+                 "collapses where writes do not coalesce)\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation of the paper's Sec. V-A performance-region taxonomy:
+ * decompose the microbenchmark's runtime at each decoupled transfer
+ * granularity into producer-kernel time and tail-transfer time, and
+ * label the dominant regime (initiation-bound, bandwidth-bound, or
+ * tail-transfer-bound).
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/microbench.hh"
+
+#include <iomanip>
+#include <iostream>
+
+using namespace proact;
+using namespace proact::bench;
+
+int
+main()
+{
+    const PlatformSpec platform = voltaPlatform();
+
+    MicrobenchWorkload::Params params;
+    params.totalBytes = 64 * MiB;
+    MicrobenchWorkload workload(platform, params);
+    workload.setup(platform.numGpus);
+
+    const Tick memcpy_ticks =
+        runParadigm(platform, workload, Paradigm::CudaMemcpy);
+
+    std::cout << "Ablation: decoupled-transfer performance regions "
+                 "(microbenchmark, " << platform.name
+              << ", polling agent, 2048 threads)\n\n";
+    std::cout << std::left << std::setw(12) << "granularity"
+              << std::right << std::setw(12) << "time (ms)"
+              << std::setw(10) << "speedup" << std::setw(10)
+              << "tail %" << std::setw(22) << "regime" << "\n";
+
+    const std::vector<std::uint64_t> chunks = {
+        4 * KiB, 16 * KiB, 64 * KiB,  256 * KiB,
+        1 * MiB, 4 * MiB,  16 * MiB,  64 * MiB};
+
+    for (const auto c : chunks) {
+        MultiGpuSystem system(platform);
+        system.setFunctional(false);
+        ProactRuntime::Options options;
+        options.config.mechanism = TransferMechanism::Polling;
+        options.config.chunkBytes = c;
+        options.config.transferThreads = 2048;
+        ProactRuntime runtime(system, options);
+        const Tick ticks = runtime.run(workload);
+
+        const double speedup = static_cast<double>(memcpy_ticks)
+            / static_cast<double>(ticks);
+        const double tail_frac = static_cast<double>(
+                                     runtime.tailTicks())
+            / static_cast<double>(ticks);
+
+        std::string regime = "bandwidth-bound";
+        if (speedup < 1.0 && tail_frac < 0.2)
+            regime = "initiation-bound";
+        else if (tail_frac >= 0.2)
+            regime = "tail-transfer-bound";
+
+        std::cout << std::left << std::setw(12) << formatBytes(c)
+                  << cell(secondsFromTicks(ticks) * 1e3, 12, 3)
+                  << cell(speedup, 10) << cell(100.0 * tail_frac, 10, 1)
+                  << std::right << std::setw(22) << regime << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension study: PROACT as a communication-library back end
+ * (paper Sec. II-B: "the PROACT technique could be implemented as a
+ * new back end to many of these commonly used libraries").
+ *
+ * Compares broadcast and all-gather latency / bus bandwidth between
+ * a bulk-DMA transport (host-issued cudaMemcpy per destination) and
+ * the PROACT transport (device-side chunked pushes) across message
+ * sizes on the DGX-2 fabric.
+ *
+ * Expected shape: at small and medium sizes PROACT wins by removing
+ * the serialized host issue + DMA initiation; at very large sizes
+ * both converge to the fabric's packetized peak.
+ */
+
+#include "bench/bench_common.hh"
+#include "collectives/collectives.hh"
+
+#include <iomanip>
+#include <iostream>
+
+using namespace proact;
+using namespace proact::bench;
+
+int
+main()
+{
+    const PlatformSpec platform = dgx2Platform();
+
+    TransferConfig config;
+    config.chunkBytes = 256 * KiB;
+    config.transferThreads = 2048;
+
+    std::cout << "Extension: collective latency, bulk-DMA vs PROACT "
+                 "transport (" << platform.name << ", "
+              << platform.fabric.name << ")\n\n";
+
+    for (const bool gather : {false, true}) {
+        std::cout << (gather ? "all-gather (per-GPU contribution)"
+                             : "broadcast from gpu0")
+                  << ":\n";
+        std::cout << std::left << std::setw(12) << "size"
+                  << std::right << std::setw(16) << "bulk-DMA (us)"
+                  << std::setw(16) << "PROACT (us)" << std::setw(12)
+                  << "speedup" << std::setw(18) << "PROACT busBW"
+                  << "\n";
+
+        for (const std::uint64_t size :
+             {64 * KiB, 1 * MiB, 16 * MiB, 256 * MiB}) {
+            Tick ticks[2];
+            int i = 0;
+            for (const auto backend :
+                 {CollectiveBackend::BulkDma,
+                  CollectiveBackend::Proact}) {
+                MultiGpuSystem system(platform);
+                Collectives coll(system, config);
+                const Tick done = gather
+                    ? coll.allGather(size, backend)
+                    : coll.broadcast(0, size, backend);
+                system.run();
+                ticks[i++] = done;
+            }
+
+            const std::uint64_t payload = gather
+                ? size * platform.numGpus * (platform.numGpus - 1)
+                : size * (platform.numGpus - 1);
+            std::cout << std::left << std::setw(12)
+                      << formatBytes(size)
+                      << cell(secondsFromTicks(ticks[0]) * 1e6, 16, 1)
+                      << cell(secondsFromTicks(ticks[1]) * 1e6, 16, 1)
+                      << cell(static_cast<double>(ticks[0])
+                                  / static_cast<double>(ticks[1]),
+                              12)
+                      << cell(Collectives::busBandwidth(payload,
+                                                        ticks[1])
+                                  / 1e9,
+                              13, 1)
+                      << " GB/s\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Extension study (beyond the paper's strong-scaling evaluation):
+ * weak scaling on the DGX-2. The problem grows proportionally with
+ * the GPU count (via the footprint scale), so perfect scaling keeps
+ * iteration time flat — efficiency = T(1 GPU, 1x) / T(N GPUs, Nx).
+ *
+ * Expected shape: PROACT sustains high efficiency (communication
+ * stays overlapped as per-GPU work is constant) while cudaMemcpy
+ * efficiency decays with the N*(N-1) serialized copy issue and the
+ * growing duplicated volume.
+ */
+
+#include "bench/bench_common.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+using namespace proact;
+using namespace proact::bench;
+
+int
+main()
+{
+    const std::uint64_t base_scale = envFootprintScale();
+    const PlatformSpec dgx2 = dgx2Platform();
+    const auto apps = standardWorkloadNames();
+
+    TransferConfig config;
+    config.mechanism = TransferMechanism::Polling;
+    config.chunkBytes = 256 * KiB;
+    config.transferThreads = 2048;
+
+    std::cout << "Extension: weak scaling on " << dgx2.name
+              << " (problem grows with GPU count; efficiency = "
+                 "T(1)/T(N), geomean across apps)\n\n";
+    std::cout << std::left << std::setw(8) << "#GPUs" << std::right
+              << std::setw(16) << "cudaMemcpy" << std::setw(16)
+              << "PROACT" << std::setw(16) << "Infinite-BW" << "\n";
+
+    std::vector<Tick> singles;
+    for (const auto &app : apps)
+        singles.push_back(
+            singleGpuReference(dgx2, app, base_scale));
+
+    for (const int n : {1, 2, 4, 8, 16}) {
+        std::cout << std::left << std::setw(8) << n;
+        for (const Paradigm p :
+             {Paradigm::CudaMemcpy, Paradigm::ProactDecoupled,
+              Paradigm::InfiniteBw}) {
+            double log_eff = 0.0;
+            for (std::size_t a = 0; a < apps.size(); ++a) {
+                auto workload = makeWorkload(apps[a],
+                                             envScaleShift());
+                workload->setFootprintScale(base_scale * n);
+                workload->setup(n);
+                const Tick t = runParadigm(
+                    dgx2.withGpuCount(n), *workload, p, config);
+                log_eff += std::log(
+                    static_cast<double>(singles[a])
+                    / static_cast<double>(t));
+            }
+            std::cout << cell(
+                100.0 * std::exp(log_eff
+                                 / static_cast<double>(apps.size())),
+                15, 1)
+                      << "%";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: interconnect goodput (percentage of
+ * peak) as a function of write-transfer granularity, for PCIe and
+ * NVLink.
+ *
+ * Expected shape (paper): both protocols drop off sharply below
+ * 128 B; 4-byte stores achieve ~14 % on PCIe and ~8 % on NVLink;
+ * >=128 B approaches peak.
+ */
+
+#include "interconnect/packet_model.hh"
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+using namespace proact;
+
+int
+main()
+{
+    const std::vector<std::uint32_t> sizes = {1,  2,  4,   8,   16,
+                                              32, 64, 128, 256, 512,
+                                              1024};
+    const PacketModel pcie = packetModelFor(Protocol::PCIe3);
+    const PacketModel nvlink = packetModelFor(Protocol::NVLink1);
+
+    std::cout << "Figure 2: goodput vs write transfer granularity\n\n";
+    std::cout << std::right << std::setw(10) << "bytes"
+              << std::setw(12) << "PCIe %" << std::setw(12)
+              << "NVLink %" << "\n";
+    for (const auto s : sizes) {
+        std::cout << std::setw(10) << s << std::fixed
+                  << std::setprecision(1) << std::setw(12)
+                  << 100.0 * pcie.efficiency(s) << std::setw(12)
+                  << 100.0 * nvlink.efficiency(s) << "\n";
+    }
+    std::cout << "\n(paper: 4B stores -> ~14% PCIe, ~8% NVLink; "
+                 ">=128B near peak)\n";
+    return 0;
+}

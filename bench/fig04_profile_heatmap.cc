@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: the profiler's view of microbenchmark
+ * throughput as a function of transfer thread count and aggregate
+ * transfer (chunk) size, on the Kepler system.
+ *
+ * Expected shape (paper): best throughput for granularities between
+ * 64 kB and 1 MB once >=128 threads are used; more threads beyond
+ * fabric saturation gain nothing.
+ */
+
+#include "bench/bench_common.hh"
+#include "workloads/microbench.hh"
+
+#include <iomanip>
+#include <iostream>
+
+using namespace proact;
+using namespace proact::bench;
+
+int
+main()
+{
+    const PlatformSpec platform = keplerPlatform();
+
+    MicrobenchWorkload::Params params;
+    params.totalBytes = 64 * MiB;
+    MicrobenchWorkload workload(platform, params);
+    workload.setup(platform.numGpus);
+
+    // Baseline: bulk cudaMemcpy duplication.
+    const Tick memcpy_ticks =
+        runParadigm(platform, workload, Paradigm::CudaMemcpy);
+
+    const std::vector<std::uint32_t> threads = {32,  64,   128, 256,
+                                                512, 1024, 2048, 4096,
+                                                8192};
+    const std::vector<std::uint64_t> chunks = {
+        4 * KiB,   16 * KiB, 64 * KiB, 256 * KiB,
+        1 * MiB,   4 * MiB,  16 * MiB, 64 * MiB};
+
+    std::cout << "Figure 4: microbenchmark throughput (speedup over "
+                 "cudaMemcpy) vs transfer threads x chunk size\n";
+    std::cout << "platform: " << platform.name << ", polling agent\n\n";
+
+    std::cout << std::left << std::setw(10) << "threads";
+    for (const auto c : chunks)
+        std::cout << std::right << std::setw(9) << formatBytes(c);
+    std::cout << "\n";
+
+    for (const auto t : threads) {
+        std::cout << std::left << std::setw(10) << t;
+        for (const auto c : chunks) {
+            MultiGpuSystem system(platform);
+            system.setFunctional(false);
+            ProactRuntime::Options options;
+            options.config.mechanism = TransferMechanism::Polling;
+            options.config.chunkBytes = c;
+            options.config.transferThreads = t;
+            ProactRuntime runtime(system, options);
+            const Tick ticks = runtime.run(workload);
+            std::cout << cell(static_cast<double>(memcpy_ticks)
+                                  / static_cast<double>(ticks),
+                              9);
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n(paper: plateau for 64kB-1MB chunks at >=128 "
+                 "threads)\n";
+    return 0;
+}

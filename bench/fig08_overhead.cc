@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: compute slowdown caused by PROACT's
+ * decoupled tracking. Measured as the paper does: run each
+ * application with full instrumentation and transfer initiation but
+ * with the data-moving stores elided, and compare against the
+ * infinite-interconnect-bandwidth runtime.
+ *
+ * Expected shape (paper): 10-15 % average per platform, from
+ * negligible up to ~40 % (PageRank); a hardware agent would remove
+ * it.
+ */
+
+#include "bench/bench_common.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+using namespace proact;
+using namespace proact::bench;
+
+int
+main()
+{
+    const std::uint64_t scale = envFootprintScale();
+    const auto apps = standardWorkloadNames();
+
+    std::cout << "Figure 8: compute slowdown due to PROACT decoupled "
+                 "tracking (instrumentation, no transfers)\n\n";
+    std::cout << std::left << std::setw(12) << "app";
+    for (const auto &platform : quadPlatforms())
+        std::cout << std::right << std::setw(14) << platform.name;
+    std::cout << "\n";
+
+    std::vector<double> geomean(quadPlatforms().size(), 0.0);
+    for (const auto &app : apps) {
+        std::cout << std::left << std::setw(12) << app;
+        std::size_t p = 0;
+        for (const auto &platform : quadPlatforms()) {
+            auto workload = makeScaledWorkload(
+                app, platform.numGpus, scale);
+
+            Profiler profiler(platform, defaultProfilerOptions());
+            const TransferConfig cfg =
+                profiler.profile(*workload).bestDecoupled().config;
+
+            const Tick ideal = runParadigm(
+                platform, *workload, Paradigm::InfiniteBw);
+
+            MultiGpuSystem system(platform);
+            system.setFunctional(false);
+            ProactRuntime::Options options;
+            options.config = cfg;
+            options.elideTransfers = true;
+            ProactRuntime runtime(system, options);
+            const Tick tracked = runtime.run(*workload);
+
+            const double slowdown =
+                static_cast<double>(tracked)
+                    / static_cast<double>(ideal)
+                - 1.0;
+            geomean[p] += slowdown;
+            std::cout << cell(100.0 * slowdown, 13, 1) << "%";
+            ++p;
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << std::left << std::setw(12) << "mean";
+    for (std::size_t p = 0; p < geomean.size(); ++p) {
+        std::cout << cell(100.0 * geomean[p]
+                              / static_cast<double>(apps.size()),
+                          13, 1)
+                  << "%";
+    }
+    std::cout << "\n\n(paper: 10-15% average, up to ~40% for "
+                 "Pagerank; included in all reported results)\n";
+    return 0;
+}

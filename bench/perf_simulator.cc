@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Google-Benchmark microbenchmarks of the simulator itself: event
+ * dispatch rate, channel booking, graph generation, and full
+ * timing-only application runs. These guard the simulator's own
+ * performance (the profiler sweeps hundreds of configurations per
+ * application, so simulation throughput is a feature).
+ */
+
+#include "harness/paradigm.hh"
+#include "proact/runtime.hh"
+#include "sim/channel.hh"
+#include "sim/event_queue.hh"
+#include "workloads/graph.hh"
+#include "workloads/registry.hh"
+
+#include <benchmark/benchmark.h>
+
+using namespace proact;
+
+namespace {
+
+void
+BM_EventQueueDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        long fired = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule((i * 7919) % 100000, [&fired] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueDispatch)->Arg(1 << 10)->Arg(1 << 16);
+
+void
+BM_ChannelBooking(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        Channel ch(eq, "bench", 100.0e9);
+        Tick last = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            last = ch.submit(4096, 4096);
+        eq.run();
+        benchmark::DoNotOptimize(last);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelBooking)->Arg(1 << 14);
+
+void
+BM_RmatGeneration(benchmark::State &state)
+{
+    RmatParams params;
+    params.numVertices = 1 << 14;
+    params.numEdges = state.range(0);
+    for (auto _ : state) {
+        const Graph g = generateRmat(params);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RmatGeneration)->Arg(1 << 17);
+
+void
+BM_TimingOnlyRun(benchmark::State &state)
+{
+    // Full 4-GPU PROACT-decoupled Pagerank iteration sweep in
+    // timing-only mode — the profiler's unit of work.
+    auto workload = makeWorkload("Pagerank", 4); // Scaled down 16x.
+    workload->setup(4);
+    TransferConfig config;
+    config.mechanism = TransferMechanism::Polling;
+    config.chunkBytes = 128 * KiB;
+    config.transferThreads = 2048;
+
+    for (auto _ : state) {
+        MultiGpuSystem system(voltaPlatform());
+        system.setFunctional(false);
+        ProactRuntime::Options options;
+        options.config = config;
+        options.maxIterations = 2;
+        ProactRuntime runtime(system, options);
+        benchmark::DoNotOptimize(runtime.run(*workload));
+    }
+}
+BENCHMARK(BM_TimingOnlyRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

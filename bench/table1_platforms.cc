@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Prints paper Table I: the key characteristics of the four
+ * simulated test systems, as encoded in the platform presets.
+ */
+
+#include "system/platform.hh"
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+using namespace proact;
+
+int
+main()
+{
+    const auto platforms = allPlatforms();
+
+    auto row = [&](const std::string &label, auto getter) {
+        std::cout << std::left << std::setw(18) << label;
+        for (const auto &p : platforms)
+            std::cout << std::right << std::setw(16) << getter(p);
+        std::cout << "\n";
+    };
+
+    std::cout << "Table I: simulated test systems\n\n";
+    row("System", [](const PlatformSpec &p) { return p.name; });
+    row("GPU", [](const PlatformSpec &p) { return p.gpu.name; });
+    row("GPU Arch",
+        [](const PlatformSpec &p) { return archName(p.gpu.arch); });
+    row("#GPUs",
+        [](const PlatformSpec &p) { return std::to_string(p.numGpus); });
+    row("Interconnect",
+        [](const PlatformSpec &p) { return p.fabric.name; });
+    row("Bidir BW/GPU GB/s", [](const PlatformSpec &p) {
+        return std::to_string(static_cast<int>(
+            p.fabric.perGpuBidirBandwidth / 1e9));
+    });
+    row("#Cores (SMs)", [](const PlatformSpec &p) {
+        return std::to_string(p.gpu.numSms);
+    });
+    row("TFLOPS", [](const PlatformSpec &p) {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(2) << p.gpu.tflops;
+        return oss.str();
+    });
+    row("Mem BW GB/s", [](const PlatformSpec &p) {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(1)
+            << p.gpu.memBandwidth / 1e9;
+        return oss.str();
+    });
+    row("Mem Cap GB", [](const PlatformSpec &p) {
+        return std::to_string(
+            static_cast<int>(p.gpu.memCapacity / GiB));
+    });
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces paper Table II: the best-performing PROACT
+ * configuration per application and 4-GPU platform, as selected by
+ * the brute-force profiler. Each entry reads
+ *   "I"                         for PROACT-inline, or
+ *   "D <granularity> <threads> <Poll|CDP>" for decoupled.
+ *
+ * Expected shape (paper): inline wins for the dense-write apps
+ * (X-ray CT on Pascal/Volta, Jacobi on Kepler/Pascal); decoupled
+ * wins everywhere else, with CDP on Kepler (polling wastes its
+ * scarce bandwidth), polling with large thread counts on
+ * Pascal/Volta, and mid-range granularities (16 kB - 1 MB).
+ */
+
+#include "bench/bench_common.hh"
+
+#include <iomanip>
+#include <iostream>
+
+using namespace proact;
+using namespace proact::bench;
+
+int
+main()
+{
+    const std::uint64_t scale = envFootprintScale();
+    const auto apps = standardWorkloadNames();
+    const auto platforms = quadPlatforms();
+
+    std::cout << "Table II: best configuration per application and "
+                 "platform (footprint scale " << scale << ")\n\n";
+    std::cout << std::left << std::setw(12) << "Application";
+    for (const auto &p : platforms)
+        std::cout << std::left << std::setw(22) << p.name;
+    std::cout << "\n" << std::string(12 + 22 * platforms.size(), '-')
+              << "\n";
+
+    for (const auto &app : apps) {
+        std::cout << std::left << std::setw(12) << app;
+        for (const auto &platform : platforms) {
+            auto workload = makeScaledWorkload(
+                app, platform.numGpus, scale);
+            Profiler profiler(platform, defaultProfilerOptions());
+            const ProfileResult prof = profiler.profile(*workload);
+            std::cout << std::left << std::setw(22)
+                      << prof.best.toString();
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "\n(paper studied ranges: granularity 4kB-16MB, "
+                 "threads 32-8192)\n";
+    return 0;
+}

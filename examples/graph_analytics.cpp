@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Graph analytics on a multi-GPU system.
+ *
+ * Runs PageRank over a scale-free R-MAT graph on the 4x Volta
+ * system, prints the most-important vertices from the verified
+ * functional run, and shows why the paper's PROACT-decoupled
+ * mechanism wins for irregular workloads: the interconnect traffic
+ * of inline P2P stores vs. coalesced decoupled chunks.
+ */
+
+#include "harness/session.hh"
+#include "workloads/pagerank.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+
+using namespace proact;
+
+int
+main()
+{
+    Session session(voltaPlatform());
+
+    PagerankWorkload::Params params;
+    params.graph.numVertices = 1 << 16;
+    params.graph.numEdges = 1 << 20;
+    params.iterations = 10;
+
+    std::cout << "Multi-GPU PageRank: "
+              << params.graph.numVertices << " vertices, "
+              << params.graph.numEdges << " edges on "
+              << session.platform().name << "\n\n";
+
+    // Functional PROACT-decoupled run with a profiler-chosen config.
+    PagerankWorkload workload(params);
+    workload.setup(session.platform().numGpus);
+
+    Profiler::Options sweep;
+    sweep.chunkSizes = {16 * KiB, 64 * KiB, 256 * KiB};
+    sweep.threadCounts = {1024, 2048};
+    const ProfileResult prof = session.profile(workload, sweep);
+    std::cout << "profiler pick: " << prof.best.toString() << "\n";
+
+    const ParadigmRun run =
+        session.run(workload, Paradigm::ProactDecoupled,
+                    prof.bestDecoupled().config,
+                    /*functional=*/true);
+    std::cout << "simulated time: " << std::fixed
+              << std::setprecision(3)
+              << secondsFromTicks(run.ticks) * 1e3
+              << " ms, fabric goodput "
+              << std::setprecision(1)
+              << 100.0 * static_cast<double>(run.payloadBytes)
+                     / static_cast<double>(run.wireBytes)
+              << "%\n\n";
+
+    // Top-ranked vertices from the verified run.
+    const auto &ranks = workload.ranks();
+    std::vector<std::int64_t> order(ranks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                      [&](std::int64_t a, std::int64_t b) {
+                          return ranks[a] > ranks[b];
+                      });
+    std::cout << "top vertices by rank:\n";
+    for (int i = 0; i < 5; ++i) {
+        std::cout << "  v" << order[i] << "  " << std::scientific
+                  << std::setprecision(3) << ranks[order[i]]
+                  << "  (in-degree "
+                  << workload.graph().inDegree(order[i]) << ")\n";
+    }
+
+    // Why decoupling matters for irregular apps: wire transactions.
+    PagerankWorkload inline_wl(params);
+    inline_wl.setup(session.platform().numGpus);
+    const ParadigmRun inline_run = session.run(
+        inline_wl, Paradigm::ProactInline, {}, /*functional=*/true);
+
+    std::cout << "\nwire store transactions (irregular updates):\n"
+              << "  PROACT-inline:    " << inline_run.storeTransactions
+              << "\n  PROACT-decoupled: " << run.storeTransactions
+              << "  ("
+              << std::fixed << std::setprecision(0)
+              << static_cast<double>(inline_run.storeTransactions)
+                     / static_cast<double>(run.storeTransactions)
+              << "x fewer; the paper reports 26x for ALS)\n";
+    return 0;
+}

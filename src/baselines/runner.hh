@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Baseline execution paradigms the paper compares PROACT against
+ * (Sec. IV-B): bulk cudaMemcpy duplication, Unified Memory with
+ * best-effort hints, and the infinite-interconnect-bandwidth limit
+ * study. All implement the Runtime interface so harnesses can swap
+ * paradigms freely.
+ */
+
+#ifndef PROACT_BASELINES_RUNNER_HH
+#define PROACT_BASELINES_RUNNER_HH
+
+#include "memory/um_driver.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "system/multi_gpu_system.hh"
+#include "workloads/workload.hh"
+
+#include <memory>
+#include <string>
+
+namespace proact {
+
+/**
+ * Launch every GPU's plain (uninstrumented) kernel for one phase,
+ * serializing the launch calls on the host.
+ *
+ * @param on_all_done Fires when the last kernel retires.
+ */
+void launchPlainKernels(MultiGpuSystem &system, const Phase &phase,
+                        EventQueue::Callback on_all_done);
+
+/**
+ * Infinite interconnect bandwidth limit (paper Sec. IV-B): kernels
+ * run, data movement is free. On a 1-GPU system this doubles as the
+ * single-GPU baseline all speedups are normalized to.
+ */
+class IdealRuntime : public Runtime
+{
+  public:
+    explicit IdealRuntime(MultiGpuSystem &system) : _system(system) {}
+
+    Tick run(Workload &workload) override;
+    std::string name() const override { return "Infinite-BW"; }
+
+  private:
+    MultiGpuSystem &_system;
+};
+
+/**
+ * Bulk-synchronous cudaMemcpy duplication: each iteration's producer
+ * kernels fully complete, then the host issues peer-to-peer DMA
+ * copies replicating every partition to every other GPU; the next
+ * iteration starts when the last copy lands. No compute/transfer
+ * overlap — the paradigm's defining cost.
+ */
+class BulkMemcpyRuntime : public Runtime
+{
+  public:
+    explicit BulkMemcpyRuntime(MultiGpuSystem &system)
+        : _system(system)
+    {}
+
+    Tick run(Workload &workload) override;
+    std::string name() const override { return "cudaMemcpy"; }
+
+    /** Time spent in exposed copy sections (Fig. 9 denominator). */
+    Tick copyTicks() const { return _copyTicks; }
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    MultiGpuSystem &_system;
+    Tick _copyTicks = 0;
+    StatSet _stats;
+
+    void runPhase(const Phase &phase);
+};
+
+/**
+ * Unified Memory with hand-tuned hints (paper Sec. IV-B): sequential
+ * workloads get prefetch hints that overlap migration with compute;
+ * sporadic workloads ride the fault path. Pre-Pascal GPUs fall back
+ * to legacy wholesale migration automatically.
+ */
+class UnifiedMemoryRuntime : public Runtime
+{
+  public:
+    explicit UnifiedMemoryRuntime(MultiGpuSystem &system)
+        : _system(system)
+    {}
+
+    /** Force a hinting strategy instead of the per-traffic default
+     * (used by the UM hint ablation). */
+    UnifiedMemoryRuntime(MultiGpuSystem &system, UmHints forced_hints)
+        : _system(system), _forcedHints(forced_hints),
+          _hintsForced(true)
+    {}
+
+    Tick run(Workload &workload) override;
+    std::string name() const override { return "UnifiedMemory"; }
+
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    MultiGpuSystem &_system;
+    StatSet _stats;
+    UmHints _forcedHints;
+    bool _hintsForced = false;
+};
+
+} // namespace proact
+
+#endif // PROACT_BASELINES_RUNNER_HH

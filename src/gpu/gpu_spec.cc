@@ -1,0 +1,107 @@
+#include "gpu/gpu_spec.hh"
+
+#include "sim/logging.hh"
+
+namespace proact {
+
+std::string
+archName(GpuArch arch)
+{
+    switch (arch) {
+      case GpuArch::Kepler:
+        return "Kepler";
+      case GpuArch::Pascal:
+        return "Pascal";
+      case GpuArch::Volta:
+        return "Volta";
+    }
+    return "unknown";
+}
+
+GpuSpec
+keplerSpec()
+{
+    GpuSpec s;
+    s.name = "Tesla K40m";
+    s.arch = GpuArch::Kepler;
+    s.numSms = 15;               // Table I.
+    s.tflops = 1.43;             // Table I (FP64-heavy HPC part).
+    s.memBandwidth = 288.4e9;    // Table I.
+    s.memCapacity = 12 * GiB;    // Table I.
+    s.ctasPerSm = 8;
+    s.kernelLaunchLatency = 5 * ticksPerMicrosecond;
+    s.cdpLaunchLatency = 8 * ticksPerMicrosecond;
+    s.dmaInitLatency = 15 * ticksPerMicrosecond;
+    s.atomicLatency = 600 * ticksPerNanosecond;
+    s.atomicsPerSec = 0.3e9;     // Kepler atomics are slow.
+    s.pollInterval = 2 * ticksPerMicrosecond;
+    s.pollMemBwShare = 0.50;     // Paper Sec. V-A: polling wastes
+                                 // scarce Kepler compute/memory BW.
+    s.umPageFaulting = false;    // Pre-Pascal "primitive" UM.
+    s.umFaultLatency = 0;
+    s.umFaultConcurrency = 1;
+    s.umPageBytes = 4096;
+    return s;
+}
+
+GpuSpec
+pascalSpec()
+{
+    GpuSpec s;
+    s.name = "Tesla P100";
+    s.arch = GpuArch::Pascal;
+    s.numSms = 56;               // Table I.
+    s.tflops = 5.3;              // Table I.
+    s.memBandwidth = 720.0e9;    // Table I.
+    s.memCapacity = 16 * GiB;    // Table I.
+    s.ctasPerSm = 8;
+    s.kernelLaunchLatency = 5 * ticksPerMicrosecond;
+    s.cdpLaunchLatency = 9 * ticksPerMicrosecond;
+    s.dmaInitLatency = 15 * ticksPerMicrosecond;
+    s.atomicLatency = 400 * ticksPerNanosecond;
+    s.atomicsPerSec = 1.2e9;
+    s.pollInterval = 1 * ticksPerMicrosecond;
+    s.pollMemBwShare = 0.03;   // Poll loops are cheap on HBM parts.
+    s.umPageFaulting = true;
+    s.umFaultLatency = 30 * ticksPerMicrosecond;
+    s.umFaultConcurrency = 16;
+    s.umPageBytes = 64 * KiB;
+    return s;
+}
+
+GpuSpec
+voltaSpec()
+{
+    GpuSpec s;
+    s.name = "Tesla V100";
+    s.arch = GpuArch::Volta;
+    s.numSms = 80;               // Table I.
+    s.tflops = 7.8;              // Table I.
+    s.memBandwidth = 920.0e9;    // Table I.
+    s.memCapacity = 16 * GiB;    // Table I.
+    s.ctasPerSm = 8;
+    s.kernelLaunchLatency = 4 * ticksPerMicrosecond;
+    // Paper Sec. V-A: dynamic-kernel initiation is highest on Volta.
+    s.cdpLaunchLatency = 14 * ticksPerMicrosecond;
+    s.dmaInitLatency = 15 * ticksPerMicrosecond;
+    s.atomicLatency = 350 * ticksPerNanosecond;
+    s.atomicsPerSec = 2.0e9;
+    s.pollInterval = 1 * ticksPerMicrosecond;
+    s.pollMemBwShare = 0.025;  // Poll loops are cheap on HBM parts.
+    s.umPageFaulting = true;
+    s.umFaultLatency = 25 * ticksPerMicrosecond;
+    s.umFaultConcurrency = 16;
+    s.umPageBytes = 64 * KiB;
+    return s;
+}
+
+GpuSpec
+volta32Spec()
+{
+    GpuSpec s = voltaSpec();
+    s.name = "Tesla V100-32GB";
+    s.memCapacity = 32 * GiB;    // Table I (DGX-2 parts).
+    return s;
+}
+
+} // namespace proact

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Static per-architecture GPU parameters.
+ *
+ * Core capacities (SMs, TFLOPS, memory bandwidth/capacity) are quoted
+ * from the paper's Table I. Latency knobs the paper does not tabulate
+ * (kernel/CDP launch cost, DMA initiation, atomic throughput, UM fault
+ * service) are set to public-literature magnitudes; they position the
+ * reproduced curves but do not create their shapes.
+ */
+
+#ifndef PROACT_GPU_GPU_SPEC_HH
+#define PROACT_GPU_GPU_SPEC_HH
+
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <string>
+
+namespace proact {
+
+/** GPU generations used across the paper's four test systems. */
+enum class GpuArch
+{
+    Kepler,
+    Pascal,
+    Volta,
+};
+
+std::string archName(GpuArch arch);
+
+/** Full static description of one GPU model. */
+struct GpuSpec
+{
+    std::string name; ///< Marketing name, e.g. "Tesla V100".
+    GpuArch arch;
+
+    /** @{ @name Table I capacities */
+    int numSms;
+    double tflops;            ///< Peak FP32 TFLOP/s.
+    double memBandwidth;      ///< HBM/GDDR bytes/s.
+    std::uint64_t memCapacity;///< Bytes.
+    /** @} */
+
+    /** Resident CTAs per SM under our occupancy model. */
+    int ctasPerSm;
+
+    /** @{ @name Launch and copy initiation costs */
+    Tick kernelLaunchLatency; ///< Host-side kernel launch.
+    Tick cdpLaunchLatency;    ///< Dynamic (device-side) kernel launch.
+    Tick dmaInitLatency;      ///< cudaMemcpy host return + DMA setup.
+    /** @} */
+
+    /** @{ @name L2 atomic unit (readiness-counter tracking) */
+    Tick atomicLatency;       ///< Round-trip latency of one atomicDec.
+    double atomicsPerSec;     ///< Sustained L2 atomic throughput.
+    /** @} */
+
+    /** @{ @name Polling-agent resource model */
+    Tick pollInterval;        ///< Bitmap scan period of the agent.
+    /**
+     * Fraction of memory bandwidth a saturating polling agent burns
+     * in fruitless poll loops (the paper's "wasted GPU resources" on
+     * Kepler).
+     */
+    double pollMemBwShare;
+    /** @} */
+
+    /** @{ @name Unified Memory model */
+    bool umPageFaulting;      ///< HW fault+migrate (Pascal onward).
+    Tick umFaultLatency;      ///< Service latency of one page fault.
+    int umFaultConcurrency;   ///< Faults serviced in parallel.
+    std::uint32_t umPageBytes;
+    /** @} */
+
+    /** Peak FLOP/s of one SM. */
+    double
+    smFlops() const
+    {
+        return tflops * 1.0e12 / static_cast<double>(numSms);
+    }
+
+    /** Maximum co-resident CTAs across the whole GPU. */
+    int maxResidentCtas() const { return numSms * ctasPerSm; }
+
+    /** Maximum co-resident threads (for interference shares). */
+    double maxResidentThreads() const { return numSms * 2048.0; }
+};
+
+/** Tesla K40m (4x Kepler / PCIe3 system). */
+GpuSpec keplerSpec();
+
+/** Tesla P100 (4x Pascal / NVLink system). */
+GpuSpec pascalSpec();
+
+/** Tesla V100 16 GB (4x Volta / NVLink2 system). */
+GpuSpec voltaSpec();
+
+/** Tesla V100 32 GB (16x Volta / NVSwitch DGX-2 system). */
+GpuSpec volta32Spec();
+
+} // namespace proact
+
+#endif // PROACT_GPU_GPU_SPEC_HH

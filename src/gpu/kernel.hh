@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Kernel intermediate representation.
+ *
+ * Kernels are expressed as per-CTA C++ callables over host-backed
+ * device buffers. Each CTA body performs the *real* computation (so
+ * workloads are numerically verifiable) and returns its work footprint
+ * (flops, local memory traffic), from which the GPU timing model
+ * derives the CTA's duration. Remote-communication metadata (which
+ * region chunks a CTA writes) is attached by the PROACT
+ * instrumentation layer, mirroring the paper's compiler pass.
+ */
+
+#ifndef PROACT_GPU_KERNEL_HH
+#define PROACT_GPU_KERNEL_HH
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace proact {
+
+/** Work performed by one CTA, reported by its body. */
+struct CtaWork
+{
+    /** Floating-point operations executed. */
+    double flops = 0.0;
+
+    /** Local HBM bytes moved (reads + writes). */
+    std::uint64_t localBytes = 0;
+};
+
+/** Execution context handed to each CTA body. */
+struct CtaContext
+{
+    int gpuId;   ///< GPU the CTA runs on.
+    int ctaId;   ///< CTA index within the launch.
+    int numCtas; ///< Total CTAs in the launch.
+
+    /**
+     * False in timing-only runs (profiler sweeps): the body must then
+     * skip the math and return the same footprint it would report in
+     * a functional run.
+     */
+    bool functional = true;
+};
+
+/** A CTA body: does the math, reports the footprint. */
+using CtaFn = std::function<CtaWork(const CtaContext &)>;
+
+/** User-visible kernel description. */
+struct KernelDesc
+{
+    std::string name = "kernel";
+    int numCtas = 1;
+    int threadsPerCta = 256;
+    CtaFn body;
+};
+
+/**
+ * A kernel plus the runtime/instrumentation hooks attached to it.
+ *
+ * The instrumentation layer sets @ref instrumented and
+ * @ref onCtaComplete to mirror Listing 1's compiler-inserted code:
+ * the first thread of each CTA issues an atomicDec on the readiness
+ * counter, and the hook fires once that atomic completes.
+ */
+struct KernelLaunch
+{
+    KernelDesc desc;
+
+    /** Route each CTA's completion through the L2 atomic unit. */
+    bool instrumented = false;
+
+    /** Additional per-CTA cost (fences, counter-index math). */
+    Tick extraCtaTicks = 0;
+
+    /**
+     * Fractional extra HBM occupancy per CTA: gpu-scope fences stall
+     * the SM's memory pipeline until its stores drain, costing
+     * effective memory bandwidth on every tracked CTA (the dominant
+     * component of software-tracking slowdown, paper Fig. 8).
+     */
+    double hbmTrafficOverhead = 0.0;
+
+    /**
+     * Fires when a CTA has fully completed (after its tracking atomic,
+     * if instrumented). Receives the CTA id.
+     */
+    std::function<void(int)> onCtaComplete;
+
+    /** Fires when every CTA of the launch has completed. */
+    EventQueue::Callback onComplete;
+};
+
+} // namespace proact
+
+#endif // PROACT_GPU_KERNEL_HH

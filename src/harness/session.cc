@@ -1,0 +1,86 @@
+#include "harness/session.hh"
+
+#include "baselines/runner.hh"
+#include "sim/logging.hh"
+
+namespace proact {
+
+Session::Session(PlatformSpec platform)
+    : _platform(std::move(platform))
+{
+}
+
+ProfileResult
+Session::profile(Workload &workload,
+                 const Profiler::Options &options)
+{
+    Profiler profiler(_platform, options);
+    return profiler.profile(workload);
+}
+
+ParadigmRun
+Session::run(Workload &workload, Paradigm paradigm,
+             const TransferConfig &config, bool functional)
+{
+    MultiGpuSystem system(_platform);
+    system.setFunctional(functional);
+
+    auto runtime = makeRuntime(paradigm, system, config);
+
+    ParadigmRun result;
+    result.paradigm = paradigm;
+    result.ticks = runtime->run(workload);
+    result.wireBytes = system.fabric().totalWireBytes();
+    result.payloadBytes = system.fabric().totalPayloadBytes();
+    result.storeTransactions =
+        system.fabric().totalStoreTransactions();
+
+    if (functional && !workload.verify())
+        fatalError("Session: '", workload.name(),
+                   "' failed verification under ", runtime->name());
+    return result;
+}
+
+Tick
+Session::singleGpuTicks(const WorkloadFactory &factory,
+                        bool functional)
+{
+    auto workload = factory(1);
+    if (!workload)
+        fatalError("Session: workload factory returned null");
+    MultiGpuSystem system(_platform.withGpuCount(1));
+    system.setFunctional(functional);
+    IdealRuntime runtime(system);
+    const Tick ticks = runtime.run(*workload);
+    if (functional && !workload->verify())
+        fatalError("Session: single-GPU '", workload->name(),
+                   "' failed verification");
+    return ticks;
+}
+
+std::vector<ParadigmRun>
+Session::compareParadigms(const WorkloadFactory &factory,
+                          bool functional,
+                          const Profiler::Options &profiler_options)
+{
+    const Tick single = singleGpuTicks(factory, functional);
+
+    // Profile on a dedicated (timing-only) instance.
+    auto profile_workload = factory(_platform.numGpus);
+    const ProfileResult prof =
+        profile(*profile_workload, profiler_options);
+    const TransferConfig decoupled_cfg = prof.bestDecoupled().config;
+
+    std::vector<ParadigmRun> results;
+    for (const Paradigm paradigm : allParadigms()) {
+        auto workload = factory(_platform.numGpus);
+        ParadigmRun run_result =
+            run(*workload, paradigm, decoupled_cfg, functional);
+        run_result.speedup = static_cast<double>(single)
+            / static_cast<double>(run_result.ticks);
+        results.push_back(run_result);
+    }
+    return results;
+}
+
+} // namespace proact

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * One-stop facade over the PROACT stack.
+ *
+ * A Session fixes a platform and exposes the full workflow of the
+ * paper — profile a workload's configuration space, execute it under
+ * any paradigm (fresh system per run so statistics never leak), and
+ * produce side-by-side paradigm comparisons normalized to a
+ * single-GPU baseline. Examples and benchmarks build on this.
+ */
+
+#ifndef PROACT_HARNESS_SESSION_HH
+#define PROACT_HARNESS_SESSION_HH
+
+#include "harness/paradigm.hh"
+#include "proact/profiler.hh"
+#include "system/platform.hh"
+#include "workloads/workload.hh"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace proact {
+
+/** Outcome of one paradigm execution. */
+struct ParadigmRun
+{
+    Paradigm paradigm;
+    Tick ticks = 0;
+
+    /** Speedup over the single-GPU reference (0 when unknown). */
+    double speedup = 0.0;
+
+    /** Wire traffic the run put on the fabric. */
+    std::uint64_t wireBytes = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t storeTransactions = 0;
+};
+
+/** Factory producing fresh, set-up workload instances. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(int num_gpus)>;
+
+/** Fixed-platform driver for profiling and paradigm comparisons. */
+class Session
+{
+  public:
+    explicit Session(PlatformSpec platform);
+
+    const PlatformSpec &platform() const { return _platform; }
+
+    /**
+     * Run the brute-force profiler on @p workload (timing-only).
+     * The workload must be set up for the platform's GPU count.
+     */
+    ProfileResult profile(Workload &workload,
+                          const Profiler::Options &options = {});
+
+    /**
+     * Execute @p workload under @p paradigm on a fresh system.
+     *
+     * @param functional Run the real math (verifiable) or
+     *        timing-only (fast).
+     */
+    ParadigmRun run(Workload &workload, Paradigm paradigm,
+                    const TransferConfig &config = {},
+                    bool functional = true);
+
+    /**
+     * Full paper-style comparison: profile, run every paradigm, and
+     * normalize against a single-GPU run built by @p factory.
+     *
+     * @param factory Creates a workload set up for the requested GPU
+     *        count (called for the platform count and for 1).
+     * @param functional Verify numerics on every paradigm run.
+     */
+    std::vector<ParadigmRun> compareParadigms(
+        const WorkloadFactory &factory, bool functional = false,
+        const Profiler::Options &profiler_options = {});
+
+    /** Single-GPU reference time for @p factory's workload. */
+    Tick singleGpuTicks(const WorkloadFactory &factory,
+                        bool functional = false);
+
+  private:
+    PlatformSpec _platform;
+};
+
+} // namespace proact
+
+#endif // PROACT_HARNESS_SESSION_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fabric-level parameters for the four evaluated interconnects.
+ *
+ * Bandwidths come from the paper's Table I ("bidirectional BW per GPU
+ * aggregate"). Latencies and thread-saturation points are not given in
+ * the paper; they are set to public-literature magnitudes and are the
+ * knobs that position (not reshape) the reproduced curves.
+ */
+
+#ifndef PROACT_INTERCONNECT_FABRIC_HH
+#define PROACT_INTERCONNECT_FABRIC_HH
+
+#include "interconnect/packet_model.hh"
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <string>
+
+namespace proact {
+
+/**
+ * How the per-GPU bandwidth is organized.
+ *
+ * SharedPorts models a switch-attached GPU (NVSwitch, PCIe): the
+ * full egress rate can target any single peer. PairwiseLinks models
+ * direct-attached NVLink topologies where a GPU's links are
+ * statically partitioned across peers, so any single pair only gets
+ * egressRate/(N-1) even when the other links idle.
+ */
+enum class FabricTopology
+{
+    SharedPorts,
+    PairwiseLinks,
+};
+
+/**
+ * Static description of one multi-GPU fabric.
+ *
+ * Each GPU owns an egress and an ingress channel of
+ * perGpuBidirBandwidth/2 each; an optional shared core channel models
+ * tree fabrics (the PCIe root complex) that cannot carry full
+ * all-to-all traffic.
+ */
+struct FabricSpec
+{
+    Protocol protocol;
+    std::string name;
+
+    /** Table I bidirectional aggregate per GPU (bytes/s). */
+    double perGpuBidirBandwidth;
+
+    /** Shared-core capacity for tree fabrics; 0 = full crossbar. */
+    double coreBandwidth;
+
+    /** End-to-end delivery latency per transfer. */
+    Tick latency;
+
+    /**
+     * GPU transfer threads needed to saturate one egress direction
+     * with P2P stores (the knee in the paper's Figure 4). Per-thread
+     * sustainable store bandwidth is egress rate / this.
+     */
+    std::uint32_t saturationThreads;
+
+    /** Port organization (see FabricTopology). */
+    FabricTopology topology = FabricTopology::SharedPorts;
+
+    double egressRate() const { return perGpuBidirBandwidth / 2.0; }
+    double ingressRate() const { return perGpuBidirBandwidth / 2.0; }
+
+    double
+    perThreadStoreBandwidth() const
+    {
+        return egressRate() / static_cast<double>(saturationThreads);
+    }
+};
+
+/** PCIe 3.0 fabric of the 4x Kepler system (16 GB/s per GPU). */
+FabricSpec pcie3Fabric();
+
+/** NVLink fabric of the 4x Pascal system (150 GB/s per GPU). */
+FabricSpec nvlink1Fabric();
+
+/** NVLink2 fabric of the 4x Volta system (300 GB/s per GPU). */
+FabricSpec nvlink2Fabric();
+
+/** NVSwitch fabric of the 16x Volta DGX-2 (300 GB/s per GPU). */
+FabricSpec nvswitchFabric();
+
+/** Fabric spec by protocol enum. */
+FabricSpec fabricFor(Protocol protocol);
+
+} // namespace proact
+
+#endif // PROACT_INTERCONNECT_FABRIC_HH

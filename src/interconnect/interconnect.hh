@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Inter-GPU fabric with packetization, per-GPU ports and an optional
+ * shared core.
+ *
+ * Every remote byte in the simulator — P2P stores (inline or agent
+ * issued), DMA copies, UM page migrations — passes through
+ * Interconnect::transfer(), which charges protocol wire overhead for
+ * the request's write granularity, applies the transfer-thread
+ * saturation model, and books the egress -> (core) -> ingress path on
+ * the fabric's FIFO channels.
+ */
+
+#ifndef PROACT_INTERCONNECT_INTERCONNECT_HH
+#define PROACT_INTERCONNECT_INTERCONNECT_HH
+
+#include "interconnect/fabric.hh"
+#include "interconnect/packet_model.hh"
+#include "sim/channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace proact {
+
+/**
+ * The multi-GPU interconnect.
+ *
+ * Per-GPU egress and ingress channels each carry half the Table I
+ * bidirectional aggregate. Transfers are booked cut-through: each hop
+ * starts no earlier than the previous hop's completion, so the exact
+ * delivery tick is known at submission time.
+ */
+class Interconnect
+{
+  public:
+    /** One transfer submission. */
+    struct Request
+    {
+        int src;                   ///< Source GPU id.
+        int dst;                   ///< Destination GPU id.
+        std::uint64_t bytes;       ///< Useful payload bytes.
+
+        /**
+         * Per-write payload granularity on the wire, i.e. how well the
+         * traffic coalesced before hitting the fabric. DMA engines and
+         * decoupled agents use the protocol max; sparse inline stores
+         * can be as small as 4 bytes.
+         */
+        std::uint32_t writeGranularity;
+
+        /**
+         * GPU threads issuing the stores; caps achieved bandwidth at
+         * threads x per-thread store bandwidth. 0 means engine-driven
+         * (DMA/UM) with no thread cap.
+         */
+        std::uint32_t threads = 0;
+
+        /** Invoked at the delivery tick (optional). */
+        EventQueue::Callback onComplete = nullptr;
+
+        /**
+         * Earliest tick the transfer may enter the fabric (0 = now).
+         * Lets initiation latencies (DMA setup, CDP launch) be booked
+         * synchronously together with the wire time.
+         */
+        Tick notBefore = 0;
+    };
+
+    Interconnect(EventQueue &eq, const FabricSpec &spec, int num_gpus);
+
+    /**
+     * Submit a transfer; returns the absolute delivery tick.
+     *
+     * @throws FatalError on invalid endpoints or zero granularity.
+     */
+    Tick transfer(const Request &req);
+
+    int numGpus() const { return _numGpus; }
+    const FabricSpec &spec() const { return _spec; }
+    const PacketModel &packetModel() const { return _packet; }
+
+    /**
+     * Egress bandwidth achievable by @p threads transfer threads
+     * (before packetization losses); 0 threads = full rate.
+     */
+    double effectiveEgressRate(std::uint32_t threads) const;
+
+    Channel &egress(int gpu) { return *_egress.at(gpu); }
+    Channel &ingress(int gpu) { return *_ingress.at(gpu); }
+    bool hasCore() const { return _core != nullptr; }
+    Channel &core() { return *_core; }
+
+    /** Whether the fabric uses statically partitioned pair links. */
+    bool
+    pairwise() const
+    {
+        return _spec.topology == FabricTopology::PairwiseLinks;
+    }
+
+    /** Directed pair link (PairwiseLinks topologies only). */
+    Channel &pairLink(int src, int dst);
+
+    /** Total wire-level write transactions issued by @p src. */
+    std::uint64_t storeTransactions(int src) const;
+    /** Total wire-level write transactions across the fabric. */
+    std::uint64_t totalStoreTransactions() const;
+
+    /** Total payload bytes delivered across the fabric. */
+    std::uint64_t totalPayloadBytes() const;
+    /** Total wire bytes consumed across the fabric. */
+    std::uint64_t totalWireBytes() const;
+
+    /** Distribution of write granularities seen on the wire. */
+    const Histogram &writeSizes() const { return _writeSizes; }
+
+    void resetStats();
+
+    /** Attach a span tracer (nullptr disables tracing). */
+    void setTrace(Trace *trace) { _trace = trace; }
+
+  private:
+    EventQueue &_eq;
+    FabricSpec _spec;
+    PacketModel _packet;
+    int _numGpus;
+
+    std::vector<std::unique_ptr<Channel>> _egress;
+    std::vector<std::unique_ptr<Channel>> _ingress;
+    std::unique_ptr<Channel> _core;
+
+    /** Directed pair links, indexed src * numGpus + dst. */
+    std::vector<std::unique_ptr<Channel>> _pairs;
+
+    std::vector<std::uint64_t> _storeTransactions;
+    Histogram _writeSizes;
+    Trace *_trace = nullptr;
+
+    void validate(const Request &req) const;
+};
+
+} // namespace proact
+
+#endif // PROACT_INTERCONNECT_INTERCONNECT_HH

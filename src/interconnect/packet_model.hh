@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Protocol packetization and goodput model (paper Figure 2).
+ *
+ * Both PCIe and NVLink wrap every write transaction in fixed header
+ * overhead and pad payloads to the protocol's flit/word granularity,
+ * so 4-byte stores achieve only ~14 % (PCIe) and ~8 % (NVLink) of
+ * peak goodput while >=128-byte transfers approach peak. This module
+ * converts a payload at a given per-packet write granularity into
+ * wire bytes, which every transfer in the simulator is charged.
+ */
+
+#ifndef PROACT_INTERCONNECT_PACKET_MODEL_HH
+#define PROACT_INTERCONNECT_PACKET_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace proact {
+
+/** Link protocol families evaluated in the paper (Table I). */
+enum class Protocol
+{
+    PCIe3,    ///< 4x Kepler system fabric.
+    NVLink1,  ///< 4x Pascal system fabric.
+    NVLink2,  ///< 4x Volta system fabric.
+    NVSwitch, ///< 16x Volta DGX-2 fabric (NVLink2 links via switch).
+};
+
+std::string protocolName(Protocol protocol);
+
+/**
+ * Per-packet framing parameters for one protocol.
+ *
+ * A write of s payload bytes costs
+ *   header_bytes + roundUp(s, word_bytes)
+ * on the wire, and payloads larger than max_payload_bytes are split
+ * into multiple packets.
+ */
+struct PacketModel
+{
+    std::uint32_t headerBytes;   ///< Fixed per-packet overhead.
+    std::uint32_t wordBytes;     ///< Payload padding granularity.
+    std::uint32_t maxPayloadBytes; ///< Largest payload per packet.
+
+    /** Wire bytes for a single packet carrying @p payload bytes. */
+    std::uint64_t packetWireBytes(std::uint32_t payload) const;
+
+    /**
+     * Wire bytes for @p payload bytes sent as writes of
+     * @p write_granularity bytes each (the last write may be short).
+     * Granularities above maxPayloadBytes are clamped.
+     */
+    std::uint64_t wireBytes(std::uint64_t payload,
+                            std::uint32_t write_granularity) const;
+
+    /**
+     * Fraction of wire bandwidth that is useful payload when writing
+     * at @p write_granularity (the Figure 2 y-axis).
+     */
+    double efficiency(std::uint32_t write_granularity) const;
+
+    /** Goodput-maximizing write granularity (== maxPayloadBytes). */
+    std::uint32_t bestGranularity() const { return maxPayloadBytes; }
+};
+
+/** Framing parameters for the given protocol. */
+PacketModel packetModelFor(Protocol protocol);
+
+} // namespace proact
+
+#endif // PROACT_INTERCONNECT_PACKET_MODEL_HH

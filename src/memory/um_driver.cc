@@ -1,0 +1,201 @@
+#include "memory/um_driver.hh"
+
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proact {
+
+namespace {
+
+/** Pages the driver speculatively pulls behind one sequential fault. */
+constexpr std::uint64_t seqPrefetchWindow = 8;
+
+/** Fraction of sequential-fault latency hidden by prefetch-ahead. */
+constexpr double seqFaultOverlap = 0.5;
+
+/** Host-side cost of one cudaMemPrefetchAsync call. */
+constexpr Tick prefetchCallCost = 10 * ticksPerMicrosecond;
+
+} // namespace
+
+UmDriver::UmDriver(MultiGpuSystem &system, std::uint64_t region_bytes)
+    : _system(system)
+{
+    _pages = std::make_unique<PageTable>(
+        system.numGpus(), region_bytes,
+        system.platform().gpu.umPageBytes);
+}
+
+bool
+UmDriver::hardwareFaulting() const
+{
+    return _system.platform().gpu.umPageFaulting;
+}
+
+void
+UmDriver::producerWrote(int gpu, std::uint64_t offset,
+                        std::uint64_t bytes)
+{
+    _pages->writeRangeBy(gpu, offset, bytes);
+    stats.inc("producer_write_ranges");
+}
+
+void
+UmDriver::markResident(int gpu, std::uint64_t offset,
+                       std::uint64_t bytes, bool replicate)
+{
+    if (bytes == 0)
+        return;
+    const std::uint64_t first = _pages->pageOf(offset);
+    const std::uint64_t last = _pages->pageOf(offset + bytes - 1);
+    for (std::uint64_t p = first; p <= last; ++p) {
+        if (replicate)
+            _pages->replicate(gpu, p);
+        else
+            _pages->migrate(gpu, p);
+    }
+}
+
+Tick
+UmDriver::access(int gpu, int owner, std::uint64_t offset,
+                 std::uint64_t bytes, bool sequential,
+                 const UmHints &hints, Tick not_before,
+                 EventQueue::Callback on_complete)
+{
+    if (!hardwareFaulting())
+        return legacyMigrate(gpu, owner, bytes, not_before,
+                             std::move(on_complete));
+
+    auto &eq = _system.eventQueue();
+    const std::uint64_t missing =
+        _pages->missingPages(gpu, offset, bytes);
+
+    if (missing == 0 || gpu == owner) {
+        const Tick when = std::max(eq.curTick(), not_before);
+        if (on_complete)
+            eq.schedule(when, on_complete);
+        return when;
+    }
+
+    markResident(gpu, offset, bytes, hints.readDuplicate);
+
+    if (hints.prefetch) {
+        return prefetchPath(gpu, owner, missing, sequential,
+                            not_before, std::move(on_complete));
+    }
+    return faultPath(gpu, owner, missing, sequential,
+                     hints.readDuplicate, not_before,
+                     std::move(on_complete));
+}
+
+Tick
+UmDriver::faultPath(int gpu, int owner, std::uint64_t missing_pages,
+                    bool sequential, bool /*replicate*/,
+                    Tick not_before,
+                    EventQueue::Callback on_complete)
+{
+    const GpuSpec &spec = _system.platform().gpu;
+    auto &eq = _system.eventQueue();
+
+    // Sequential streams let the driver prefetch a window of pages
+    // behind every fault; sporadic access faults on every page.
+    const std::uint64_t faults = sequential
+        ? (missing_pages + seqPrefetchWindow - 1) / seqPrefetchWindow
+        : missing_pages;
+    // Sequential streams batch fault service across the driver's
+    // queues; sporadic faults arrive dependently and mostly
+    // serialize (the fault storms behind the paper's PageRank UM
+    // collapse).
+    const std::uint64_t seq_conc = spec.umFaultConcurrency;
+    const std::uint64_t sporadic_conc = 1;
+    const std::uint64_t conc = sequential ? seq_conc : sporadic_conc;
+    const std::uint64_t rounds = (faults + conc - 1) / conc;
+    Tick fault_latency = rounds * spec.umFaultLatency;
+    if (sequential) {
+        fault_latency = static_cast<Tick>(
+            static_cast<double>(fault_latency)
+            * (1.0 - seqFaultOverlap));
+    }
+
+    stats.inc("faults", static_cast<double>(faults));
+    stats.inc("migrated_pages", static_cast<double>(missing_pages));
+
+    Interconnect::Request req;
+    req.src = owner;
+    req.dst = gpu;
+    req.bytes = missing_pages * spec.umPageBytes;
+    req.writeGranularity =
+        _system.fabric().packetModel().maxPayloadBytes;
+    req.threads = 0;
+    req.notBefore = not_before;
+    const Tick wire_done = _system.fabric().transfer(req);
+
+    // Exposed fault-service latency extends past the wire time.
+    const Tick done = wire_done + fault_latency;
+    if (on_complete)
+        eq.schedule(done, std::move(on_complete));
+    return done;
+}
+
+Tick
+UmDriver::prefetchPath(int gpu, int owner,
+                       std::uint64_t missing_pages, bool /*sequential*/,
+                       Tick not_before,
+                       EventQueue::Callback on_complete)
+{
+    const GpuSpec &spec = _system.platform().gpu;
+
+    stats.inc("prefetch_calls");
+    stats.inc("prefetched_bytes",
+              static_cast<double>(missing_pages * spec.umPageBytes));
+
+    Interconnect::Request req;
+    req.src = owner;
+    req.dst = gpu;
+    req.bytes = missing_pages * spec.umPageBytes;
+    req.writeGranularity =
+        _system.fabric().packetModel().maxPayloadBytes;
+    req.threads = 0;
+    req.notBefore =
+        std::max(_system.now(), not_before) + prefetchCallCost;
+    req.onComplete = std::move(on_complete);
+    return _system.fabric().transfer(req);
+}
+
+Tick
+UmDriver::legacyMigrate(int gpu, int owner, std::uint64_t bytes,
+                        Tick not_before,
+                        EventQueue::Callback on_complete)
+{
+    // Pre-Pascal UM: the region bounces through host memory around
+    // each kernel launch. We book the device->device leg on the
+    // fabric and add the host leg as additional serial time on the
+    // tree core (PCIe systems always have one).
+    auto &eq = _system.eventQueue();
+    const FabricSpec &fab = _system.platform().fabric;
+    // The host leg runs at one PCIe direction's rate, not the
+    // aggregate tree capacity.
+    const double host_rate = fab.egressRate();
+
+    stats.inc("legacy_migrations");
+    stats.inc("legacy_bytes", static_cast<double>(bytes));
+
+    Interconnect::Request req;
+    req.src = owner;
+    req.dst = gpu;
+    req.bytes = bytes;
+    req.writeGranularity =
+        _system.fabric().packetModel().maxPayloadBytes;
+    req.threads = 0;
+    req.notBefore = not_before;
+    const Tick wire_done = _system.fabric().transfer(req);
+
+    const Tick done = wire_done + transferTicks(bytes, host_rate);
+    if (on_complete)
+        eq.schedule(done, std::move(on_complete));
+    return done;
+}
+
+} // namespace proact

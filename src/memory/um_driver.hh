@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unified Memory driver model.
+ *
+ * Reproduces the three UM behaviours the paper evaluates (Sec. IV-B):
+ *
+ *  - fault path: consumer threads fault on non-resident pages; faults
+ *    are serviced umFaultConcurrency at a time at umFaultLatency each
+ *    plus page migration wire time. Sequentially accessed data earns
+ *    an overlap credit (the driver's speculative prefetch-ahead);
+ *    sporadic access exposes every fault.
+ *  - hinted prefetch: cudaMemPrefetchAsync-style bulk migration at
+ *    DMA granularity with one driver call per peer; sequential data
+ *    again earns partial overlap with the consumer kernel.
+ *  - legacy (pre-Pascal): no hardware faulting; the managed region
+ *    bounces through host memory around each kernel launch.
+ *
+ * Residency is tracked for real in a PageTable so repeated accesses
+ * to already-resident (read-duplicated) pages cost nothing.
+ */
+
+#ifndef PROACT_MEMORY_UM_DRIVER_HH
+#define PROACT_MEMORY_UM_DRIVER_HH
+
+#include "memory/page_table.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "system/multi_gpu_system.hh"
+
+#include <cstdint>
+#include <memory>
+
+namespace proact {
+
+/** Programmer-supplied cudaMemAdvise-style hints. */
+struct UmHints
+{
+    /** Prefetch each peer partition before the consumer kernel. */
+    bool prefetch = false;
+
+    /** Mark the region read-mostly (replicate instead of migrate). */
+    bool readDuplicate = false;
+};
+
+/** UM management of one managed region on one system. */
+class UmDriver
+{
+  public:
+    /**
+     * @param system The machine; supplies fabric, specs and clock.
+     * @param region_bytes Size of the managed region.
+     */
+    UmDriver(MultiGpuSystem &system, std::uint64_t region_bytes);
+
+    PageTable &pageTable() { return *_pages; }
+
+    /** Record producer writes (invalidates peer replicas). */
+    void producerWrote(int gpu, std::uint64_t offset,
+                       std::uint64_t bytes);
+
+    /**
+     * Make [offset, offset+bytes) usable on @p gpu, where the valid
+     * copy lives on @p owner.
+     *
+     * @param sequential Whether the consumer touches pages in address
+     *        order (enables driver prefetch-ahead overlap).
+     * @param not_before Earliest start (e.g. producer completion).
+     * @return Tick at which the data is resident on @p gpu.
+     */
+    Tick access(int gpu, int owner, std::uint64_t offset,
+                std::uint64_t bytes, bool sequential,
+                const UmHints &hints, Tick not_before,
+                EventQueue::Callback on_complete = nullptr);
+
+    /**
+     * Pre-Pascal legacy mode: bounce the whole region through host
+     * memory (used automatically when the GPU lacks page faulting).
+     */
+    Tick legacyMigrate(int gpu, int owner, std::uint64_t bytes,
+                       Tick not_before,
+                       EventQueue::Callback on_complete = nullptr);
+
+    /** Whether this system's GPUs support hardware page faulting. */
+    bool hardwareFaulting() const;
+
+    StatSet stats;
+
+  private:
+    MultiGpuSystem &_system;
+    std::unique_ptr<PageTable> _pages;
+
+    Tick faultPath(int gpu, int owner, std::uint64_t missing_pages,
+                   bool sequential, bool replicate, Tick not_before,
+                   EventQueue::Callback on_complete);
+    Tick prefetchPath(int gpu, int owner,
+                      std::uint64_t missing_pages, bool sequential,
+                      Tick not_before,
+                      EventQueue::Callback on_complete);
+
+    void markResident(int gpu, std::uint64_t offset,
+                      std::uint64_t bytes, bool replicate);
+};
+
+} // namespace proact
+
+#endif // PROACT_MEMORY_UM_DRIVER_HH

@@ -1,0 +1,78 @@
+#include "proact/config.hh"
+
+#include <sstream>
+
+namespace proact {
+
+std::string
+mechanismName(TransferMechanism mechanism)
+{
+    switch (mechanism) {
+      case TransferMechanism::Inline:
+        return "inline";
+      case TransferMechanism::Polling:
+        return "polling";
+      case TransferMechanism::Cdp:
+        return "cdp";
+      case TransferMechanism::Hardware:
+        return "hardware";
+    }
+    return "unknown";
+}
+
+std::string
+mechanismCode(TransferMechanism mechanism)
+{
+    switch (mechanism) {
+      case TransferMechanism::Inline:
+        return "I";
+      case TransferMechanism::Polling:
+        return "Poll";
+      case TransferMechanism::Cdp:
+        return "CDP";
+      case TransferMechanism::Hardware:
+        return "HW";
+    }
+    return "?";
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    std::ostringstream oss;
+    if (bytes >= GiB && bytes % GiB == 0)
+        oss << bytes / GiB << "GB";
+    else if (bytes >= MiB && bytes % MiB == 0)
+        oss << bytes / MiB << "MB";
+    else if (bytes >= KiB && bytes % KiB == 0)
+        oss << bytes / KiB << "kB";
+    else
+        oss << bytes << "B";
+    return oss.str();
+}
+
+std::string
+TransferConfig::toString() const
+{
+    if (mechanism == TransferMechanism::Inline)
+        return "I";
+    std::ostringstream oss;
+    oss << "D " << formatBytes(chunkBytes) << " " << transferThreads
+        << " " << mechanismCode(mechanism);
+    return oss.str();
+}
+
+std::vector<std::uint64_t>
+chunkSizeSweep()
+{
+    return {4 * KiB,   16 * KiB,  64 * KiB, 128 * KiB,
+            256 * KiB, 1 * MiB,   4 * MiB,  16 * MiB};
+}
+
+std::vector<std::uint32_t>
+threadCountSweep()
+{
+    return {32, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+} // namespace proact

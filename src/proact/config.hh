@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PROACT transfer configuration (the profiler's search space).
+ *
+ * A configuration is the triple the paper's Table II reports per
+ * application and platform: transfer scheme (inline vs. decoupled),
+ * decoupled mechanism (polling vs. CDP vs. future hardware), transfer
+ * granularity, and transfer thread count.
+ */
+
+#ifndef PROACT_PROACT_CONFIG_HH
+#define PROACT_PROACT_CONFIG_HH
+
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proact {
+
+/** How ready chunks travel to peer GPUs (paper Sec. III-C). */
+enum class TransferMechanism
+{
+    /** P2P stores issued directly from producer threads. */
+    Inline,
+
+    /** Persistent warp-specialized kernel polling readiness bitmaps. */
+    Polling,
+
+    /** CUDA Dynamic Parallelism child kernel per ready chunk. */
+    Cdp,
+
+    /** Proposed hardware agent (Sec. III-D): counters and transfer
+     * triggering in dedicated hardware, no SM overhead. */
+    Hardware,
+};
+
+std::string mechanismName(TransferMechanism mechanism);
+
+/** Short Table II-style code: I, Poll, CDP, HW. */
+std::string mechanismCode(TransferMechanism mechanism);
+
+/** One point in the profiler's configuration space. */
+struct TransferConfig
+{
+    TransferMechanism mechanism = TransferMechanism::Cdp;
+
+    /** Decoupled transfer granularity (paper range: 4 kB - 16 MB). */
+    std::uint64_t chunkBytes = 64 * KiB;
+
+    /** Transfer threads (paper range: 32 - 8192). */
+    std::uint32_t transferThreads = 256;
+
+    /** Table II-style rendering, e.g. "D 128kB 2048 Poll" or "I". */
+    std::string toString() const;
+
+    bool decoupled() const
+    {
+        return mechanism != TransferMechanism::Inline;
+    }
+};
+
+/** Human-readable byte size (4kB, 1MB, ...). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Paper's studied chunk-granularity sweep: 4 kB ... 16 MB. */
+std::vector<std::uint64_t> chunkSizeSweep();
+
+/** Paper's studied transfer-thread sweep: 32 ... 8192. */
+std::vector<std::uint32_t> threadCountSweep();
+
+} // namespace proact
+
+#endif // PROACT_PROACT_CONFIG_HH

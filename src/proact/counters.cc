@@ -1,0 +1,85 @@
+#include "proact/counters.hh"
+
+#include "sim/logging.hh"
+
+#include <numeric>
+
+namespace proact {
+
+CounterArray::CounterArray(int num_chunks)
+    : _expected(num_chunks, 0), _remaining(num_chunks, 0)
+{
+    if (num_chunks <= 0)
+        fatalError("CounterArray: need at least one chunk");
+    // Chunks with zero expected writers are born ready.
+    _readyChunks = num_chunks;
+}
+
+void
+CounterArray::checkChunk(int chunk) const
+{
+    if (chunk < 0 || chunk >= numChunks())
+        panicError("CounterArray: chunk ", chunk, " out of ",
+                   numChunks());
+}
+
+void
+CounterArray::expectWriter(int chunk)
+{
+    checkChunk(chunk);
+    if (_remaining[chunk] != _expected[chunk])
+        panicError("CounterArray: expectWriter after decrements began");
+    if (_expected[chunk] == 0)
+        --_readyChunks; // No longer born-ready.
+    ++_expected[chunk];
+    ++_remaining[chunk];
+}
+
+int
+CounterArray::expected(int chunk) const
+{
+    checkChunk(chunk);
+    return _expected[chunk];
+}
+
+int
+CounterArray::remaining(int chunk) const
+{
+    checkChunk(chunk);
+    return _remaining[chunk];
+}
+
+bool
+CounterArray::decrement(int chunk)
+{
+    checkChunk(chunk);
+    if (_remaining[chunk] <= 0)
+        panicError("CounterArray: decrement below zero on chunk ",
+                   chunk);
+    ++_decrements;
+    if (--_remaining[chunk] == 0) {
+        ++_readyChunks;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+CounterArray::totalExpected() const
+{
+    return std::accumulate(_expected.begin(), _expected.end(),
+                           std::uint64_t(0));
+}
+
+void
+CounterArray::rearm()
+{
+    _remaining = _expected;
+    _readyChunks = 0;
+    for (int e : _expected) {
+        if (e == 0)
+            ++_readyChunks;
+    }
+}
+
+} // namespace proact

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Readiness counter array (paper Sec. III-B).
+ *
+ * One atomic counter per transfer chunk, initialized to the number of
+ * CTAs that write the chunk (a compiler-derived constant). Producer
+ * CTAs decrement the counters of every chunk they touch; a counter
+ * reaching zero marks its chunk ready for transfer. This class is the
+ * functional ledger; the *timing* of decrements flows through the
+ * GPU's L2 atomic-unit channel.
+ */
+
+#ifndef PROACT_PROACT_COUNTERS_HH
+#define PROACT_PROACT_COUNTERS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace proact {
+
+/** Per-chunk CTA-arrival counters for one GPU's region partition. */
+class CounterArray
+{
+  public:
+    /** Create @p num_chunks counters, all initially zero-expected. */
+    explicit CounterArray(int num_chunks);
+
+    int numChunks() const { return static_cast<int>(_expected.size()); }
+
+    /** Add one expected writer CTA to @p chunk (init phase). */
+    void expectWriter(int chunk);
+
+    /** Expected writers of @p chunk. */
+    int expected(int chunk) const;
+
+    /** Remaining (undecremented) writers of @p chunk. */
+    int remaining(int chunk) const;
+
+    /**
+     * Decrement @p chunk's counter (one writer CTA arrived).
+     * @return true iff this decrement made the chunk ready.
+     */
+    bool decrement(int chunk);
+
+    bool ready(int chunk) const { return remaining(chunk) == 0; }
+
+    /** Chunks whose counters have reached zero. */
+    int readyChunks() const { return _readyChunks; }
+
+    bool allReady() const { return _readyChunks == numChunks(); }
+
+    /** Total decrements performed (== atomic ops issued). */
+    std::uint64_t totalDecrements() const { return _decrements; }
+
+    /** Sum of expected counts (== decrements a full run will issue). */
+    std::uint64_t totalExpected() const;
+
+    /** Re-arm every counter to its expected value (next iteration). */
+    void rearm();
+
+  private:
+    std::vector<int> _expected;
+    std::vector<int> _remaining;
+    int _readyChunks = 0;
+    std::uint64_t _decrements = 0;
+
+    void checkChunk(int chunk) const;
+};
+
+} // namespace proact
+
+#endif // PROACT_PROACT_COUNTERS_HH

@@ -1,0 +1,127 @@
+#include "proact/region.hh"
+
+#include "sim/logging.hh"
+
+#include <algorithm>
+
+namespace proact {
+
+namespace {
+
+int
+chunkCount(std::uint64_t partition_bytes, std::uint64_t chunk_bytes)
+{
+    if (partition_bytes == 0)
+        return 1;
+    return static_cast<int>((partition_bytes + chunk_bytes - 1)
+                            / chunk_bytes);
+}
+
+} // namespace
+
+RegionTracker::RegionTracker(std::uint64_t partition_bytes,
+                             std::uint64_t chunk_bytes)
+    : _partitionBytes(partition_bytes),
+      _chunkBytes(std::max<std::uint64_t>(
+          1, std::min(chunk_bytes,
+                      std::max<std::uint64_t>(1, partition_bytes)))),
+      _counters(chunkCount(partition_bytes, _chunkBytes))
+{
+    if (chunk_bytes == 0)
+        fatalError("RegionTracker: zero chunk size");
+}
+
+std::uint64_t
+RegionTracker::chunkSize(int chunk) const
+{
+    if (chunk < 0 || chunk >= numChunks())
+        panicError("RegionTracker: chunk ", chunk, " out of ",
+                   numChunks());
+    const std::uint64_t lo = static_cast<std::uint64_t>(chunk)
+        * _chunkBytes;
+    return std::min(_chunkBytes, _partitionBytes - lo);
+}
+
+std::pair<int, int>
+RegionTracker::chunkSpan(const ByteRange &range) const
+{
+    if (range.empty())
+        return {0, -1};
+    if (range.hi > _partitionBytes)
+        panicError("RegionTracker: range [", range.lo, ", ", range.hi,
+                   ") exceeds partition of ", _partitionBytes);
+    const int first = static_cast<int>(range.lo / _chunkBytes);
+    const int last = static_cast<int>((range.hi - 1) / _chunkBytes);
+    return {first, last};
+}
+
+void
+RegionTracker::initCounters(
+    int num_ctas, const std::function<ByteRange(int)> &cta_range)
+{
+    for (int cta = 0; cta < num_ctas; ++cta) {
+        const auto [first, last] = chunkSpan(cta_range(cta));
+        for (int c = first; c <= last; ++c)
+            _counters.expectWriter(c);
+    }
+}
+
+int
+RegionTracker::ctaArrived(const ByteRange &range,
+                          std::vector<int> &ready_out)
+{
+    const auto [first, last] = chunkSpan(range);
+    int decrements = 0;
+    for (int c = first; c <= last; ++c) {
+        ++decrements;
+        if (_counters.decrement(c))
+            ready_out.push_back(c);
+    }
+    return decrements;
+}
+
+namespace mappings {
+
+std::function<ByteRange(int)>
+contiguous(std::uint64_t partition_bytes, int num_ctas)
+{
+    if (num_ctas <= 0)
+        fatalError("mappings::contiguous: need at least one CTA");
+    return [partition_bytes, num_ctas](int cta) {
+        const std::uint64_t n = static_cast<std::uint64_t>(num_ctas);
+        const std::uint64_t lo =
+            partition_bytes * static_cast<std::uint64_t>(cta) / n;
+        const std::uint64_t hi =
+            partition_bytes * (static_cast<std::uint64_t>(cta) + 1) / n;
+        return ByteRange{lo, hi};
+    };
+}
+
+std::function<ByteRange(int)>
+strided(std::uint64_t partition_bytes, int num_ctas)
+{
+    if (num_ctas <= 0)
+        fatalError("mappings::strided: need at least one CTA");
+    return [partition_bytes](int) {
+        return ByteRange{0, partition_bytes};
+    };
+}
+
+std::function<ByteRange(int)>
+stencil(std::uint64_t partition_bytes, int num_ctas,
+        std::uint64_t halo_bytes)
+{
+    if (num_ctas <= 0)
+        fatalError("mappings::stencil: need at least one CTA");
+    auto base = contiguous(partition_bytes, num_ctas);
+    return [base, partition_bytes, halo_bytes](int cta) {
+        ByteRange r = base(cta);
+        r.lo = r.lo >= halo_bytes ? r.lo - halo_bytes : 0;
+        r.hi = std::min(partition_bytes, r.hi + halo_bytes);
+        return r;
+    };
+}
+
+} // namespace mappings
+
+} // namespace proact

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * PROACT-enabled region tracking (paper Sec. III-B, Fig. 5).
+ *
+ * A RegionTracker covers one GPU's partition of a PROACT-enabled
+ * region for one iteration: it chops the partition into transfer
+ * chunks of the profiler-chosen granularity, derives per-chunk writer
+ * counts from the kernel's CTA write footprints (the compiler's job
+ * in the paper), and turns CTA arrivals into chunk-ready events.
+ *
+ * The mappings namespace provides the utility block-to-address
+ * mappings Listing 1 mentions (one-to-one/contiguous, strided,
+ * stencil) plus support for user-defined mappings via arbitrary
+ * footprint functions.
+ */
+
+#ifndef PROACT_PROACT_REGION_HH
+#define PROACT_PROACT_REGION_HH
+
+#include "proact/counters.hh"
+#include "workloads/workload.hh"
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace proact {
+
+/** Chunked readiness tracking of one GPU's region partition. */
+class RegionTracker
+{
+  public:
+    /**
+     * @param partition_bytes Bytes this GPU produces.
+     * @param chunk_bytes Transfer granularity (last chunk may be
+     *        short). Clamped to partition_bytes.
+     */
+    RegionTracker(std::uint64_t partition_bytes,
+                  std::uint64_t chunk_bytes);
+
+    std::uint64_t partitionBytes() const { return _partitionBytes; }
+    std::uint64_t chunkBytes() const { return _chunkBytes; }
+    int numChunks() const { return _counters.numChunks(); }
+
+    /** Payload size of chunk @p chunk (short tail allowed). */
+    std::uint64_t chunkSize(int chunk) const;
+
+    /** Inclusive chunk index span touched by @p range. */
+    std::pair<int, int> chunkSpan(const ByteRange &range) const;
+
+    /**
+     * Register every CTA's write footprint (the compile-time counter
+     * initialization of proact_init() in Listing 1).
+     */
+    void initCounters(int num_ctas,
+                      const std::function<ByteRange(int)> &cta_range);
+
+    /**
+     * Record a CTA's arrival: decrements the counter of every chunk
+     * its range touches.
+     *
+     * @param range The CTA's write footprint.
+     * @param ready_out Receives indices of chunks that became ready.
+     * @return Number of atomic decrements performed.
+     */
+    int ctaArrived(const ByteRange &range, std::vector<int> &ready_out);
+
+    const CounterArray &counters() const { return _counters; }
+
+    bool allReady() const { return _counters.allReady(); }
+
+    /** Atomic decrements one full iteration will issue. */
+    std::uint64_t decrementsPerIteration() const
+    {
+        return _counters.totalExpected();
+    }
+
+    /** Reset counters for the next iteration. */
+    void rearm() { _counters.rearm(); }
+
+  private:
+    std::uint64_t _partitionBytes;
+    std::uint64_t _chunkBytes;
+    CounterArray _counters;
+};
+
+namespace mappings {
+
+/** One-to-one: CTA i writes the i-th equal slice of the partition. */
+std::function<ByteRange(int)>
+contiguous(std::uint64_t partition_bytes, int num_ctas);
+
+/**
+ * Strided: each CTA's writes interleave across the whole partition,
+ * so every CTA's footprint spans the full partition and chunks become
+ * ready only as the kernel drains (the worst case for overlap).
+ */
+std::function<ByteRange(int)>
+strided(std::uint64_t partition_bytes, int num_ctas);
+
+/**
+ * Stencil: like contiguous but each CTA also writes @p halo_bytes
+ * into both neighbouring slices (ranges overlap chunk boundaries).
+ */
+std::function<ByteRange(int)>
+stencil(std::uint64_t partition_bytes, int num_ctas,
+        std::uint64_t halo_bytes);
+
+} // namespace mappings
+
+} // namespace proact
+
+#endif // PROACT_PROACT_REGION_HH

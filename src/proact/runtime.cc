@@ -1,0 +1,195 @@
+#include "proact/runtime.hh"
+
+#include "proact/instrumentation.hh"
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace proact {
+
+ProactRuntime::ProactRuntime(MultiGpuSystem &system, Options options)
+    : _system(system), _options(std::move(options))
+{
+    if (_options.config.decoupled() &&
+        _options.config.chunkBytes == 0) {
+        fatalError("ProactRuntime: zero chunk granularity");
+    }
+}
+
+std::string
+ProactRuntime::name() const
+{
+    return _options.config.mechanism == TransferMechanism::Inline
+        ? "PROACT-inline"
+        : "PROACT-decoupled(" + _options.config.toString() + ")";
+}
+
+Tick
+ProactRuntime::run(Workload &workload)
+{
+    if (workload.numGpus() != _system.numGpus())
+        fatalError("ProactRuntime: workload set up for ",
+                   workload.numGpus(), " GPUs, system has ",
+                   _system.numGpus());
+
+    int iterations = workload.numIterations();
+    if (_options.maxIterations >= 0)
+        iterations = std::min(iterations, _options.maxIterations);
+
+    const TrafficProfile traffic = workload.traffic();
+    _atomicFanout = workload.footprintScale();
+    const Tick start = _system.now();
+    for (int iter = 0; iter < iterations; ++iter) {
+        const Phase phase = workload.phase(iter);
+        if (_system.numGpus() == 1)
+            runPhaseSingleGpu(phase);
+        else
+            runPhase(phase, traffic);
+    }
+    _stats.set("iterations", iterations);
+    return _system.now() - start;
+}
+
+void
+ProactRuntime::runPhaseSingleGpu(const Phase &phase)
+{
+    // No peers: PROACT degenerates to plain kernel execution.
+    auto &eq = _system.eventQueue();
+    KernelLaunch launch;
+    launch.desc = phase.perGpu.at(0).kernel;
+    const Tick issue = _system.host().issue();
+    eq.schedule(issue, [this, launch] {
+        _system.gpu(0).launch(launch);
+    });
+    eq.run();
+}
+
+void
+ProactRuntime::runPhase(const Phase &phase,
+                        const TrafficProfile &traffic)
+{
+    const int n = _system.numGpus();
+    if (static_cast<int>(phase.perGpu.size()) != n)
+        fatalError("ProactRuntime: phase describes ",
+                   phase.perGpu.size(), " GPUs, system has ", n);
+
+    auto &eq = _system.eventQueue();
+    const bool inline_mode =
+        _options.config.mechanism == TransferMechanism::Inline;
+
+    // Per-phase tracking state (one tracker per produced region per
+    // GPU); must outlive eq.run() below.
+    std::vector<std::vector<std::unique_ptr<RegionTracker>>>
+        trackers(n);
+    std::vector<std::unique_ptr<TransferAgent>> agents(n);
+
+    std::uint64_t expected_deliveries = 0;
+    std::uint64_t seen_deliveries = 0;
+    int kernels_remaining = n;
+    Tick kernels_done = 0;
+    Tick last_delivery = 0;
+
+    auto on_delivered = [&](std::uint64_t bytes) {
+        ++seen_deliveries;
+        last_delivery = eq.curTick();
+        _stats.inc("delivered_bytes", static_cast<double>(bytes));
+    };
+    auto on_kernel_done = [&] {
+        if (--kernels_remaining == 0)
+            kernels_done = eq.curTick();
+    };
+
+    std::vector<KernelLaunch> launches;
+    launches.reserve(n);
+
+    for (int g = 0; g < n; ++g) {
+        const GpuPhaseWork &work = phase.perGpu[g];
+        const auto outputs = work.allOutputs();
+
+        if (outputs.empty()) {
+            // Nothing to communicate: run the kernel untouched.
+            KernelLaunch launch;
+            launch.desc = work.kernel;
+            launch.onComplete = on_kernel_done;
+            launches.push_back(std::move(launch));
+            continue;
+        }
+
+        if (inline_mode) {
+            expected_deliveries +=
+                static_cast<std::uint64_t>(work.kernel.numCtas)
+                * outputs.size() * (n - 1);
+            launches.push_back(instrumentInline(
+                work, _system, g, traffic.inlineStoreBytes,
+                _options.elideTransfers, on_delivered, &_stats,
+                on_kernel_done));
+            continue;
+        }
+
+        TransferAgent::Context ctx;
+        ctx.system = &_system;
+        ctx.gpuId = g;
+        ctx.config = _options.config;
+        ctx.elideTransfers = _options.elideTransfers;
+        ctx.onDelivered = on_delivered;
+        ctx.stats = &_stats;
+        agents[g] = makeAgent(_options.config.mechanism,
+                              std::move(ctx));
+
+        std::vector<TrackedRegion> tracked;
+        for (const RegionOutput &output : outputs) {
+            auto tracker = std::make_unique<RegionTracker>(
+                output.bytesProduced, _options.config.chunkBytes);
+            tracker->initCounters(work.kernel.numCtas,
+                                  output.ctaRange);
+
+            expected_deliveries +=
+                static_cast<std::uint64_t>(tracker->numChunks())
+                * (n - 1);
+            _stats.inc("chunks_total", tracker->numChunks());
+
+            // Chunks no CTA writes (possible under user-defined
+            // mappings) are ready from the start.
+            for (int c = 0; c < tracker->numChunks(); ++c) {
+                if (tracker->counters().expected(c) == 0) {
+                    agents[g]->chunkReady(c, tracker->chunkSize(c));
+                    warn("PROACT: chunk with no writer CTAs in "
+                         "kernel '" + work.kernel.name + "'");
+                }
+            }
+
+            tracked.push_back(
+                TrackedRegion{tracker.get(), output.ctaRange});
+            trackers[g].push_back(std::move(tracker));
+        }
+
+        launches.push_back(instrumentDecoupled(
+            work.kernel, std::move(tracked), *agents[g],
+            _system.gpu(g), &_stats, on_kernel_done, _atomicFanout));
+    }
+
+    // Host issues the per-GPU launches back-to-back.
+    for (int g = 0; g < n; ++g) {
+        const Tick issue = _system.host().issue();
+        const KernelLaunch &launch = launches[g];
+        eq.schedule(issue, [this, g, launch] {
+            _system.gpu(g).launch(launch);
+        });
+    }
+
+    eq.run();
+
+    if (seen_deliveries != expected_deliveries)
+        panicError("ProactRuntime: expected ", expected_deliveries,
+                   " deliveries, saw ", seen_deliveries);
+    if (kernels_remaining != 0)
+        panicError("ProactRuntime: ", kernels_remaining,
+                   " kernels never completed");
+
+    if (last_delivery > kernels_done)
+        _tailTicks += last_delivery - kernels_done;
+    _stats.inc("phases");
+}
+
+} // namespace proact

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The PROACT runtime: orchestration of instrumented kernels, region
+ * tracking, and decoupled/inline transfers across iterations.
+ *
+ * One runtime instance executes a workload on a system under a fixed
+ * TransferConfig (normally the profiler's pick). Per iteration it
+ * mirrors proact_init() + the instrumented kernels of Listing 1:
+ * build a RegionTracker per GPU, initialize readiness counters from
+ * the CTA footprints, launch the instrumented producer kernels, let
+ * agents push ready chunks while computation continues, and declare
+ * the iteration done when every kernel retired and every chunk
+ * arrived at every peer (the paper's sys-scope release flushes all
+ * PROACT buffers at this boundary).
+ */
+
+#ifndef PROACT_PROACT_RUNTIME_HH
+#define PROACT_PROACT_RUNTIME_HH
+
+#include "proact/config.hh"
+#include "proact/region.hh"
+#include "proact/transfer_agent.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "system/multi_gpu_system.hh"
+#include "workloads/workload.hh"
+
+#include <memory>
+#include <string>
+
+namespace proact {
+
+/** Executes workloads under PROACT (inline or decoupled). */
+class ProactRuntime : public Runtime
+{
+  public:
+    struct Options
+    {
+        TransferConfig config;
+
+        /**
+         * Keep tracking + initiation, skip the actual stores (used to
+         * measure overhead and overlap, paper Figs. 8/9).
+         */
+        bool elideTransfers = false;
+
+        /** Cap iterations (profiling runs use a short prefix). */
+        int maxIterations = -1;
+    };
+
+    ProactRuntime(MultiGpuSystem &system, Options options);
+
+    Tick run(Workload &workload) override;
+
+    std::string name() const override;
+
+    const Options &options() const { return _options; }
+
+    /** Accumulated run statistics (decrements, chunks, tail time). */
+    const StatSet &stats() const { return _stats; }
+
+    /**
+     * Total time the fabric was still draining after the last
+     * producer CTA retired, summed over iterations (the paper's
+     * "tail transfers", Sec. V-A).
+     */
+    Tick tailTicks() const { return _tailTicks; }
+
+  private:
+    MultiGpuSystem &_system;
+    Options _options;
+    StatSet _stats;
+    Tick _tailTicks = 0;
+    std::uint64_t _atomicFanout = 1;
+
+    void runPhase(const Phase &phase, const TrafficProfile &traffic);
+    void runPhaseSingleGpu(const Phase &phase);
+};
+
+} // namespace proact
+
+#endif // PROACT_PROACT_RUNTIME_HH

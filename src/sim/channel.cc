@@ -1,0 +1,89 @@
+#include "sim/channel.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace proact {
+
+Channel::Channel(EventQueue &eq, std::string name, double bytes_per_sec,
+                 Tick latency)
+    : _eq(eq), _name(std::move(name)), _rate(bytes_per_sec),
+      _latency(latency)
+{
+    if (bytes_per_sec <= 0.0)
+        throw std::invalid_argument("Channel rate must be positive: "
+                                    + _name);
+}
+
+void
+Channel::setRate(double bytes_per_sec)
+{
+    if (bytes_per_sec <= 0.0)
+        throw std::invalid_argument("Channel rate must be positive: "
+                                    + _name);
+    _rate = bytes_per_sec;
+}
+
+Tick
+Channel::submit(std::uint64_t wire_bytes, std::uint64_t payload_bytes,
+                EventQueue::Callback on_delivered)
+{
+    return submitAfter(_eq.curTick(), wire_bytes, payload_bytes,
+                       std::move(on_delivered));
+}
+
+Tick
+Channel::nextStart(Tick not_before) const
+{
+    return std::max({_eq.curTick(), _busyUntil, not_before});
+}
+
+Tick
+Channel::submitAfter(Tick not_before, std::uint64_t wire_bytes,
+                     std::uint64_t payload_bytes,
+                     EventQueue::Callback on_delivered)
+{
+    const Tick start = nextStart(not_before);
+    const Tick service = transferTicks(wire_bytes, _rate);
+    const Tick service_end = start + service;
+    const Tick delivered = service_end + _latency;
+
+    _busyUntil = service_end;
+    _busyTicks += service;
+    _wireBytes += wire_bytes;
+    _payloadBytes += payload_bytes;
+    ++_numTransfers;
+
+    if (on_delivered)
+        _eq.schedule(delivered, std::move(on_delivered));
+    return delivered;
+}
+
+double
+Channel::utilization(Tick horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(_busyTicks)
+                             / static_cast<double>(horizon));
+}
+
+double
+Channel::goodput() const
+{
+    if (_wireBytes == 0)
+        return 1.0;
+    return static_cast<double>(_payloadBytes)
+        / static_cast<double>(_wireBytes);
+}
+
+void
+Channel::resetStats()
+{
+    _numTransfers = 0;
+    _wireBytes = 0;
+    _payloadBytes = 0;
+    _busyTicks = 0;
+}
+
+} // namespace proact

@@ -1,0 +1,89 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace proact {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < _curTick)
+        throw std::logic_error("EventQueue: scheduling into the past");
+
+    auto entry = std::make_shared<Entry>();
+    entry->when = when;
+    entry->priority = priority;
+    entry->seq = _nextSeq++;
+    entry->id = _nextId++;
+    entry->cb = std::move(cb);
+
+    _queue.push(entry);
+    _pendingIndex.emplace(entry->id, entry);
+    ++_liveEvents;
+    return entry->id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    auto it = _pendingIndex.find(id);
+    if (it == _pendingIndex.end())
+        return false;
+    it->second->cancelled = true;
+    _pendingIndex.erase(it);
+    assert(_liveEvents > 0);
+    --_liveEvents;
+    return true;
+}
+
+bool
+EventQueue::runNext()
+{
+    while (!_queue.empty()) {
+        auto entry = _queue.top();
+        _queue.pop();
+        if (entry->cancelled)
+            continue;
+
+        assert(entry->when >= _curTick);
+        _curTick = entry->when;
+        --_liveEvents;
+        ++_dispatched;
+        _pendingIndex.erase(entry->id);
+
+        // Move the callback out so the entry can be freed even if the
+        // callback reschedules heavily.
+        Callback cb = std::move(entry->cb);
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run()
+{
+    while (runNext()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!_queue.empty()) {
+        // Peek past cancelled entries without dispatching.
+        auto entry = _queue.top();
+        if (entry->cancelled) {
+            _queue.pop();
+            continue;
+        }
+        if (entry->when > limit)
+            break;
+        runNext();
+    }
+    if (_curTick < limit)
+        _curTick = limit;
+}
+
+} // namespace proact

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Discrete-event engine driving the multi-GPU simulator.
+ *
+ * Every timing-visible action in the system — CTA completion, chunk
+ * transfer delivery, DMA completion, polling-agent wakeup, page-fault
+ * service — is an event scheduled on a single global queue. Events at
+ * equal ticks are ordered by priority, then by insertion sequence so
+ * execution is fully deterministic.
+ */
+
+#ifndef PROACT_SIM_EVENT_QUEUE_HH
+#define PROACT_SIM_EVENT_QUEUE_HH
+
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace proact {
+
+/** Opaque handle identifying a scheduled event (used to cancel it). */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * The queue owns the simulated clock: curTick() advances only when an
+ * event is dispatched. Callbacks may schedule further events (including
+ * at the current tick) but never in the past.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute tick; must be >= curTick().
+     * @param cb Callback invoked when the event fires.
+     * @param priority Lower values run first among same-tick events.
+     * @return Handle usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb, int priority = 0);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    scheduleIn(Tick delay, Callback cb, int priority = 0)
+    {
+        return schedule(_curTick + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * event is a harmless no-op.
+     * @return true iff the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** Whether any live (non-cancelled) events remain. */
+    bool empty() const { return _liveEvents == 0; }
+
+    /** Number of live pending events. */
+    std::uint64_t pendingEvents() const { return _liveEvents; }
+
+    /** Total events dispatched so far. */
+    std::uint64_t dispatchedEvents() const { return _dispatched; }
+
+    /**
+     * Dispatch the single next event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool runNext();
+
+    /** Run until no live events remain. */
+    void run();
+
+    /**
+     * Run until the clock would pass @p limit; events at exactly
+     * @p limit still execute.
+     */
+    void runUntil(Tick limit);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct EntryCompare
+    {
+        bool
+        operator()(const std::shared_ptr<Entry> &a,
+                   const std::shared_ptr<Entry> &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    std::priority_queue<std::shared_ptr<Entry>,
+                        std::vector<std::shared_ptr<Entry>>,
+                        EntryCompare> _queue;
+    std::unordered_map<EventId, std::shared_ptr<Entry>> _pendingIndex;
+
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _nextId = 1;
+    std::uint64_t _liveEvents = 0;
+    std::uint64_t _dispatched = 0;
+};
+
+} // namespace proact
+
+#endif // PROACT_SIM_EVENT_QUEUE_HH

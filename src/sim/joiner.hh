@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Completion join counter.
+ *
+ * Multi-GPU phases complete when N independent completions (kernels,
+ * transfers) have all arrived; Joiner counts arrivals and fires a
+ * callback on the last one. Create via std::make_shared and capture
+ * the shared_ptr in each completion callback so it lives until fired.
+ */
+
+#ifndef PROACT_SIM_JOINER_HH
+#define PROACT_SIM_JOINER_HH
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+#include <memory>
+
+namespace proact {
+
+/** Counts @p expected arrivals, then invokes the completion once. */
+class Joiner
+{
+  public:
+    Joiner(int expected, EventQueue::Callback on_done)
+        : _remaining(expected), _onDone(std::move(on_done))
+    {
+        if (expected < 0)
+            panicError("Joiner: negative arrival count");
+        if (expected == 0 && _onDone) {
+            // Degenerate join: complete immediately.
+            auto done = std::move(_onDone);
+            _onDone = nullptr;
+            done();
+        }
+    }
+
+    /** Record one arrival; fires the callback on the last. */
+    void
+    arrive()
+    {
+        if (_remaining <= 0)
+            panicError("Joiner: more arrivals than expected");
+        if (--_remaining == 0 && _onDone) {
+            auto done = std::move(_onDone);
+            _onDone = nullptr;
+            done();
+        }
+    }
+
+    int remaining() const { return _remaining; }
+
+    /** Convenience: shared joiner whose arrivals capture ownership. */
+    static std::shared_ptr<Joiner>
+    make(int expected, EventQueue::Callback on_done)
+    {
+        return std::make_shared<Joiner>(expected, std::move(on_done));
+    }
+
+    /** An arrival callback keeping the joiner alive until it fires. */
+    static EventQueue::Callback
+    arrival(const std::shared_ptr<Joiner> &joiner)
+    {
+        return [joiner] { joiner->arrive(); };
+    }
+
+  private:
+    int _remaining;
+    EventQueue::Callback _onDone;
+};
+
+} // namespace proact
+
+#endif // PROACT_SIM_JOINER_HH

@@ -1,0 +1,31 @@
+#include "sim/logging.hh"
+
+#include <iostream>
+
+namespace proact {
+
+namespace {
+bool quietMode = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+void
+warn(const std::string &message)
+{
+    if (!quietMode)
+        std::cerr << "warn: " << message << "\n";
+}
+
+void
+inform(const std::string &message)
+{
+    if (!quietMode)
+        std::cerr << "info: " << message << "\n";
+}
+
+} // namespace proact

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom.
+ *
+ * fatal() ends the process for user errors (bad configuration);
+ * panic() aborts for internal invariant violations; warn()/inform()
+ * print without stopping. In library (non-process-owning) contexts the
+ * throwing variants fatalError()/panicError() are preferred — the
+ * process-terminating macros exist for the standalone binaries.
+ */
+
+#ifndef PROACT_SIM_LOGGING_HH
+#define PROACT_SIM_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace proact {
+
+/** Thrown for user-caused misconfiguration (fatal() equivalent). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error("fatal: " + what)
+    {}
+};
+
+/** Thrown for internal invariant violations (panic() equivalent). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error("panic: " + what)
+    {}
+};
+
+/** Raise a FatalError with streamed message parts. */
+template <typename... Args>
+[[noreturn]] void
+fatalError(const Args &...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    throw FatalError(oss.str());
+}
+
+/** Raise a PanicError with streamed message parts. */
+template <typename... Args>
+[[noreturn]] void
+panicError(const Args &...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    throw PanicError(oss.str());
+}
+
+/** Print a warning to stderr (never stops the run). */
+void warn(const std::string &message);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &message);
+
+/** Globally silence warn()/inform() (tests use this). */
+void setQuiet(bool quiet);
+
+} // namespace proact
+
+#endif // PROACT_SIM_LOGGING_HH

@@ -1,0 +1,76 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace proact {
+
+std::vector<Trace::Span>
+Trace::byCategory(const std::string &category) const
+{
+    std::vector<Span> out;
+    for (const auto &span : _spans) {
+        if (span.category == category)
+            out.push_back(span);
+    }
+    return out;
+}
+
+Tick
+Trace::horizon() const
+{
+    Tick h = 0;
+    for (const auto &span : _spans)
+        h = std::max(h, span.end);
+    return h;
+}
+
+void
+Trace::dumpCsv(std::ostream &os) const
+{
+    os << "start_ps,end_ps,category,label\n";
+    for (const auto &span : _spans) {
+        os << span.start << "," << span.end << "," << span.category
+           << "," << span.label << "\n";
+    }
+}
+
+void
+Trace::renderTimeline(std::ostream &os, int columns) const
+{
+    const Tick h = horizon();
+    if (h == 0 || columns <= 0) {
+        os << "(empty trace)\n";
+        return;
+    }
+
+    // Rows keyed by label, in first-appearance order.
+    std::vector<std::string> order;
+    std::map<std::string, std::string> rows;
+    std::size_t widest = 0;
+    for (const auto &span : _spans) {
+        if (rows.find(span.label) == rows.end()) {
+            rows[span.label] = std::string(columns, '.');
+            order.push_back(span.label);
+            widest = std::max(widest, span.label.size());
+        }
+        auto &row = rows[span.label];
+        const auto lo = static_cast<int>(
+            span.start * static_cast<Tick>(columns) / (h + 1));
+        const auto hi = static_cast<int>(
+            span.end * static_cast<Tick>(columns) / (h + 1));
+        for (int c = lo; c <= hi && c < columns; ++c)
+            row[c] = '#';
+    }
+
+    for (const auto &label : order) {
+        os << label;
+        os << std::string(widest - label.size() + 2, ' ');
+        os << rows[label] << "\n";
+    }
+    os << std::string(widest + 2, ' ') << "0"
+       << std::string(columns - 2, ' ') << "t="
+       << secondsFromTicks(h) * 1e6 << "us\n";
+}
+
+} // namespace proact

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Optional span tracing for post-run timeline analysis.
+ *
+ * Components record named spans (kernel executions, fabric
+ * transfers) when a Trace is attached; harnesses render them as
+ * timelines (e.g. the paper's Figure 1 paradigm comparison) or dump
+ * them as CSV. Tracing is off by default and costs nothing when
+ * disabled.
+ */
+
+#ifndef PROACT_SIM_TRACE_HH
+#define PROACT_SIM_TRACE_HH
+
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace proact {
+
+/** A recorded span stream. */
+class Trace
+{
+  public:
+    struct Span
+    {
+        Tick start = 0;
+        Tick end = 0;
+        std::string category; ///< e.g. "kernel", "transfer".
+        std::string label;    ///< e.g. "gpu0.jacobi_sweep".
+    };
+
+    /** Record one completed span. */
+    void
+    record(Tick start, Tick end, std::string category,
+           std::string label)
+    {
+        _spans.push_back(Span{start, end, std::move(category),
+                              std::move(label)});
+    }
+
+    const std::vector<Span> &spans() const { return _spans; }
+    std::size_t size() const { return _spans.size(); }
+    bool empty() const { return _spans.empty(); }
+    void clear() { _spans.clear(); }
+
+    /** Spans of one category, in recording order. */
+    std::vector<Span> byCategory(const std::string &category) const;
+
+    /** Latest end tick over all spans (0 when empty). */
+    Tick horizon() const;
+
+    /** Dump as CSV: start_ps,end_ps,category,label. */
+    void dumpCsv(std::ostream &os) const;
+
+    /**
+     * Render an ASCII timeline: one row per distinct label, '#'
+     * cells where a span of that label is active. @p columns sets
+     * the horizontal resolution.
+     */
+    void renderTimeline(std::ostream &os, int columns = 72) const;
+
+  private:
+    std::vector<Span> _spans;
+};
+
+} // namespace proact
+
+#endif // PROACT_SIM_TRACE_HH

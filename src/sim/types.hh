@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Core time and unit types shared by every simulation component.
+ *
+ * Simulated time is measured in picoseconds so that single-flit
+ * transfers on a 300 GB/s fabric (sub-nanosecond) remain representable
+ * as integers. Helper conversion routines keep unit handling in one
+ * place; all bandwidths in the code base are expressed in bytes/second.
+ */
+
+#ifndef PROACT_SIM_TYPES_HH
+#define PROACT_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace proact {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per common wall-clock units. */
+constexpr Tick ticksPerPicosecond = 1;
+constexpr Tick ticksPerNanosecond = 1000;
+constexpr Tick ticksPerMicrosecond = 1000 * ticksPerNanosecond;
+constexpr Tick ticksPerMillisecond = 1000 * ticksPerMicrosecond;
+constexpr Tick ticksPerSecond = 1000 * ticksPerMillisecond;
+
+/** A tick value guaranteed to be later than any scheduled event. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Common byte-size constants. */
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/** Convert seconds (double) to ticks, rounding to nearest. */
+constexpr Tick
+ticksFromSeconds(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(ticksPerSecond)
+                             + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+secondsFromTicks(Tick ticks)
+{
+    return static_cast<double>(ticks)
+        / static_cast<double>(ticksPerSecond);
+}
+
+/**
+ * Time to move @p bytes at @p bytes_per_sec, in ticks (at least 1 tick
+ * for any non-zero payload so events always make forward progress).
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes == 0 || bytes_per_sec <= 0.0)
+        return 0;
+    const double seconds =
+        static_cast<double>(bytes) / bytes_per_sec;
+    const Tick t = ticksFromSeconds(seconds);
+    return t == 0 ? 1 : t;
+}
+
+/** Achieved bytes/second for a payload moved in @p ticks. */
+constexpr double
+bytesPerSecond(std::uint64_t bytes, Tick ticks)
+{
+    if (ticks == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / secondsFromTicks(ticks);
+}
+
+} // namespace proact
+
+#endif // PROACT_SIM_TYPES_HH

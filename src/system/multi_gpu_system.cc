@@ -1,0 +1,70 @@
+#include "system/multi_gpu_system.hh"
+
+#include "sim/logging.hh"
+
+namespace proact {
+
+MultiGpuSystem::MultiGpuSystem(const PlatformSpec &platform)
+    : _platform(platform), _host(_eq)
+{
+    if (platform.numGpus < 1)
+        fatalError("MultiGpuSystem: need at least one GPU");
+
+    _fabric = std::make_unique<Interconnect>(_eq, platform.fabric,
+                                             platform.numGpus);
+    _gpus.reserve(platform.numGpus);
+    _dmas.reserve(platform.numGpus);
+    for (int g = 0; g < platform.numGpus; ++g) {
+        _gpus.push_back(std::make_unique<Gpu>(_eq, platform.gpu, g));
+        _dmas.push_back(
+            std::make_unique<DmaEngine>(_eq, *_gpus.back(), *_fabric));
+    }
+}
+
+void
+MultiGpuSystem::setFunctional(bool functional)
+{
+    for (auto &g : _gpus)
+        g->setFunctional(functional);
+}
+
+void
+MultiGpuSystem::setTrace(Trace *trace)
+{
+    for (auto &g : _gpus)
+        g->setTrace(trace);
+    _fabric->setTrace(trace);
+}
+
+void
+MultiGpuSystem::dumpStats(std::ostream &os)
+{
+    const Tick now = _eq.curTick();
+    os << "system: " << _platform.name << " @ "
+       << secondsFromTicks(now) * 1e3 << " ms simulated\n";
+
+    for (std::size_t g = 0; g < _gpus.size(); ++g) {
+        os << "gpu" << g << ":\n";
+        _gpus[g]->stats.dump(os, "  ");
+        const Channel &hbm = _gpus[g]->hbm();
+        os << "  hbm.bytes = " << hbm.payloadBytes() << "\n";
+        os << "  hbm.utilization = " << hbm.utilization(now) << "\n";
+    }
+
+    Interconnect &fabric = *_fabric;
+    os << "fabric: payload " << fabric.totalPayloadBytes()
+       << " B, wire " << fabric.totalWireBytes() << " B, "
+       << fabric.totalStoreTransactions() << " store transactions\n";
+    for (int g = 0; g < _platform.numGpus; ++g) {
+        os << "  gpu" << g
+           << ".egress.util = " << fabric.egress(g).utilization(now)
+           << "  ingress.util = "
+           << fabric.ingress(g).utilization(now) << "\n";
+    }
+    if (fabric.hasCore()) {
+        os << "  core.util = " << fabric.core().utilization(now)
+           << "\n";
+    }
+}
+
+} // namespace proact

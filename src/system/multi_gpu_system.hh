@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Top-level container: N GPUs, their DMA engines, the fabric, and the
+ * host.
+ *
+ * A MultiGpuSystem owns the event queue and everything timed against
+ * it. Runtimes (PROACT, cudaMemcpy, UM) operate on a system instance;
+ * benchmarks build a fresh system per measured configuration so stats
+ * never leak across runs.
+ */
+
+#ifndef PROACT_SYSTEM_MULTI_GPU_SYSTEM_HH
+#define PROACT_SYSTEM_MULTI_GPU_SYSTEM_HH
+
+#include "gpu/dma_engine.hh"
+#include "gpu/gpu.hh"
+#include "interconnect/interconnect.hh"
+#include "sim/event_queue.hh"
+#include "system/platform.hh"
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+namespace proact {
+
+/**
+ * Host CPU model: API calls (kernel launches, memcpy issues) serialize
+ * on the host thread at a fixed cost each, which is part of why bulk
+ * DMA paradigms pay per-transfer overhead the paper calls out.
+ */
+class Host
+{
+  public:
+    explicit Host(EventQueue &eq, Tick op_cost = 2 * ticksPerMicrosecond)
+        : _eq(eq), _opCost(op_cost)
+    {}
+
+    /**
+     * Occupy the host thread for one API call.
+     *
+     * @param extra_cost Additional serial host time beyond the base
+     *        call cost (e.g. DMA-engine programming for
+     *        cudaMemcpyPeer, the paper's Sec. II-B initiation
+     *        overhead that "can consume several microseconds").
+     * @return Tick at which the call has been issued to the device.
+     */
+    Tick
+    issue(Tick extra_cost = 0)
+    {
+        const Tick start = std::max(_eq.curTick(), _nextFree);
+        _nextFree = start + _opCost + extra_cost;
+        return _nextFree;
+    }
+
+    Tick opCost() const { return _opCost; }
+
+  private:
+    EventQueue &_eq;
+    Tick _opCost;
+    Tick _nextFree = 0;
+};
+
+/** A complete simulated multi-GPU machine. */
+class MultiGpuSystem
+{
+  public:
+    explicit MultiGpuSystem(const PlatformSpec &platform);
+
+    MultiGpuSystem(const MultiGpuSystem &) = delete;
+    MultiGpuSystem &operator=(const MultiGpuSystem &) = delete;
+
+    const PlatformSpec &platform() const { return _platform; }
+    int numGpus() const { return _platform.numGpus; }
+
+    EventQueue &eventQueue() { return _eq; }
+    Tick now() const { return _eq.curTick(); }
+
+    Gpu &gpu(int i) { return *_gpus.at(i); }
+    DmaEngine &dma(int i) { return *_dmas.at(i); }
+    Interconnect &fabric() { return *_fabric; }
+    Host &host() { return _host; }
+
+    /** Toggle timing-only mode on every GPU. */
+    void setFunctional(bool functional);
+
+    /** Drain the event queue. */
+    void run() { _eq.run(); }
+
+    /**
+     * Dump per-GPU and fabric statistics (kernel counts, channel
+     * utilization, goodput) for post-run inspection.
+     */
+    void dumpStats(std::ostream &os);
+
+    /**
+     * Attach a span tracer to every GPU and the fabric (nullptr
+     * detaches). Used by the Fig. 1 timeline harness.
+     */
+    void setTrace(Trace *trace);
+
+  private:
+    PlatformSpec _platform;
+    EventQueue _eq;
+    std::unique_ptr<Interconnect> _fabric;
+    std::vector<std::unique_ptr<Gpu>> _gpus;
+    std::vector<std::unique_ptr<DmaEngine>> _dmas;
+    Host _host;
+};
+
+} // namespace proact
+
+#endif // PROACT_SYSTEM_MULTI_GPU_SYSTEM_HH

@@ -1,0 +1,43 @@
+#include "system/platform.hh"
+
+namespace proact {
+
+PlatformSpec
+keplerPlatform()
+{
+    return PlatformSpec{"4x Kepler", keplerSpec(), pcie3Fabric(), 4};
+}
+
+PlatformSpec
+pascalPlatform()
+{
+    return PlatformSpec{"4x Pascal", pascalSpec(), nvlink1Fabric(), 4};
+}
+
+PlatformSpec
+voltaPlatform()
+{
+    return PlatformSpec{"4x Volta", voltaSpec(), nvlink2Fabric(), 4};
+}
+
+PlatformSpec
+dgx2Platform()
+{
+    return PlatformSpec{"16x Volta", volta32Spec(), nvswitchFabric(),
+                        16};
+}
+
+std::vector<PlatformSpec>
+quadPlatforms()
+{
+    return {keplerPlatform(), pascalPlatform(), voltaPlatform()};
+}
+
+std::vector<PlatformSpec>
+allPlatforms()
+{
+    return {keplerPlatform(), pascalPlatform(), voltaPlatform(),
+            dgx2Platform()};
+}
+
+} // namespace proact

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The four test platforms of the paper's Table I.
+ *
+ * Each platform pairs a GPU model with its fabric and a default GPU
+ * count; strong-scaling studies (Fig. 10) instantiate the same
+ * platform at smaller GPU counts.
+ */
+
+#ifndef PROACT_SYSTEM_PLATFORM_HH
+#define PROACT_SYSTEM_PLATFORM_HH
+
+#include "gpu/gpu_spec.hh"
+#include "interconnect/fabric.hh"
+
+#include <string>
+#include <vector>
+
+namespace proact {
+
+/** One row of Table I. */
+struct PlatformSpec
+{
+    std::string name; ///< e.g. "4x Volta".
+    GpuSpec gpu;
+    FabricSpec fabric;
+    int numGpus;
+
+    /** Copy of this platform with a different GPU count. */
+    PlatformSpec
+    withGpuCount(int n) const
+    {
+        PlatformSpec p = *this;
+        p.numGpus = n;
+        p.name = std::to_string(n) + "x " + archName(gpu.arch);
+        return p;
+    }
+};
+
+/** 4x Tesla K40m over PCIe3 (Table I column 1). */
+PlatformSpec keplerPlatform();
+
+/** 4x Tesla P100 over NVLink (Table I column 2). */
+PlatformSpec pascalPlatform();
+
+/** 4x Tesla V100 over NVLink2 (Table I column 3). */
+PlatformSpec voltaPlatform();
+
+/** 16x Tesla V100-32GB over NVSwitch, i.e. DGX-2 (Table I column 4). */
+PlatformSpec dgx2Platform();
+
+/** The three 4-GPU platforms used in Figs. 6-9. */
+std::vector<PlatformSpec> quadPlatforms();
+
+/** All four Table I platforms. */
+std::vector<PlatformSpec> allPlatforms();
+
+} // namespace proact
+
+#endif // PROACT_SYSTEM_PLATFORM_HH

@@ -1,0 +1,193 @@
+#include "workloads/graph.hh"
+
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace proact {
+
+namespace {
+
+/** Sample one R-MAT edge by recursive quadrant descent. */
+std::pair<std::int64_t, std::int64_t>
+sampleEdge(Rng &rng, int scale, double a, double b, double c)
+{
+    std::int64_t src = 0, dst = 0;
+    for (int level = 0; level < scale; ++level) {
+        const double r = rng.uniform();
+        src <<= 1;
+        dst <<= 1;
+        if (r < a) {
+            // top-left: neither bit set
+        } else if (r < a + b) {
+            dst |= 1;
+        } else if (r < a + b + c) {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    return {src, dst};
+}
+
+Graph
+buildCsr(std::int64_t num_vertices,
+         std::vector<std::pair<std::int64_t, std::int64_t>> &edges,
+         Rng &rng, std::int32_t max_weight)
+{
+    Graph g;
+    g.numVertices = num_vertices;
+    g.outDegree.assign(num_vertices, 0);
+    g.inOffsets.assign(num_vertices + 1, 0);
+
+    for (const auto &[src, dst] : edges) {
+        ++g.outDegree[src];
+        ++g.inOffsets[dst + 1];
+    }
+    for (std::int64_t v = 0; v < num_vertices; ++v)
+        g.inOffsets[v + 1] += g.inOffsets[v];
+
+    g.inNeighbors.resize(edges.size());
+    g.inWeights.resize(edges.size());
+    std::vector<std::int64_t> cursor(g.inOffsets.begin(),
+                                     g.inOffsets.end() - 1);
+
+    // Fill in deterministic edge order (generation order per dst).
+    for (const auto &[src, dst] : edges) {
+        const std::int64_t slot = cursor[dst]++;
+        g.inNeighbors[slot] = static_cast<std::int32_t>(src);
+        g.inWeights[slot] = static_cast<float>(
+            1 + rng.below(static_cast<std::uint64_t>(max_weight)));
+    }
+    return g;
+}
+
+} // namespace
+
+Graph
+generateRmat(const RmatParams &params)
+{
+    if (params.numVertices <= 0 || params.numEdges <= 0)
+        fatalError("generateRmat: empty graph requested");
+    if (std::popcount(
+            static_cast<std::uint64_t>(params.numVertices)) != 1) {
+        fatalError("generateRmat: vertex count must be a power of 2, "
+                   "got ", params.numVertices);
+    }
+    const double sum = params.a + params.b + params.c;
+    if (sum >= 1.0)
+        fatalError("generateRmat: quadrant probabilities exceed 1");
+
+    const int scale = std::bit_width(
+        static_cast<std::uint64_t>(params.numVertices)) - 1;
+
+    Rng rng(params.seed);
+    std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+    edges.reserve(params.numEdges);
+    for (std::int64_t e = 0; e < params.numEdges; ++e)
+        edges.push_back(
+            sampleEdge(rng, scale, params.a, params.b, params.c));
+
+    if (params.shuffleVertices) {
+        // Fisher-Yates permutation of vertex labels.
+        std::vector<std::int64_t> perm(params.numVertices);
+        for (std::int64_t v = 0; v < params.numVertices; ++v)
+            perm[v] = v;
+        for (std::int64_t v = params.numVertices - 1; v > 0; --v) {
+            const auto j = static_cast<std::int64_t>(
+                rng.below(static_cast<std::uint64_t>(v + 1)));
+            std::swap(perm[v], perm[j]);
+        }
+        for (auto &[src, dst] : edges) {
+            src = perm[src];
+            dst = perm[dst];
+        }
+    }
+
+    return buildCsr(params.numVertices, edges, rng,
+                    params.maxWeight);
+}
+
+Graph
+generateRing(std::int64_t num_vertices, int degree)
+{
+    if (num_vertices <= 0 || degree <= 0 ||
+        degree >= num_vertices) {
+        fatalError("generateRing: invalid shape (", num_vertices,
+                   " vertices, degree ", degree, ")");
+    }
+
+    std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+    edges.reserve(num_vertices * degree);
+    for (std::int64_t v = 0; v < num_vertices; ++v) {
+        for (int k = 1; k <= degree; ++k) {
+            const std::int64_t src =
+                (v - k + num_vertices) % num_vertices;
+            edges.emplace_back(src, v);
+        }
+    }
+    Rng rng(7);
+    return buildCsr(num_vertices, edges, rng, 1);
+}
+
+std::vector<std::int64_t>
+partitionByEdges(const Graph &graph, int num_parts)
+{
+    if (num_parts <= 0)
+        fatalError("partitionByEdges: need at least one part");
+
+    std::vector<std::int64_t> bounds(num_parts + 1, 0);
+    const std::int64_t total = graph.numEdges();
+    std::int64_t v = 0;
+    for (int p = 1; p < num_parts; ++p) {
+        const std::int64_t target = total * p / num_parts;
+        while (v < graph.numVertices && graph.inOffsets[v] < target)
+            ++v;
+        bounds[p] = v;
+    }
+    bounds[num_parts] = graph.numVertices;
+
+    // Guarantee monotone non-decreasing boundaries even for highly
+    // skewed graphs (a part may be empty, which callers tolerate).
+    for (int p = 1; p <= num_parts; ++p)
+        bounds[p] = std::max(bounds[p], bounds[p - 1]);
+    return bounds;
+}
+
+std::vector<std::int64_t>
+balanceByWeight(const std::vector<std::int64_t> &offsets,
+                std::int64_t lo, std::int64_t hi,
+                std::int64_t target_weight, std::int64_t max_rows)
+{
+    if (lo < 0 || hi < lo ||
+        hi >= static_cast<std::int64_t>(offsets.size())) {
+        fatalError("balanceByWeight: bad row range [", lo, ", ", hi,
+                   ")");
+    }
+    target_weight = std::max<std::int64_t>(1, target_weight);
+    max_rows = std::max<std::int64_t>(1, max_rows);
+
+    std::vector<std::int64_t> bounds{lo};
+    std::int64_t row = lo;
+    while (row < hi) {
+        const std::int64_t weight_cap = offsets[row] + target_weight;
+        std::int64_t next = row;
+        while (next < hi && next - row < max_rows &&
+               offsets[next + 1] <= weight_cap) {
+            ++next;
+        }
+        // Always take at least one row so hubs heavier than the
+        // target still make progress.
+        if (next == row)
+            ++next;
+        bounds.push_back(next);
+        row = next;
+    }
+    if (bounds.back() != hi || bounds.size() == 1)
+        bounds.push_back(hi);
+    return bounds;
+}
+
+} // namespace proact

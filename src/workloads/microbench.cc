@@ -1,0 +1,132 @@
+#include "workloads/microbench.hh"
+
+#include "interconnect/packet_model.hh"
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proact {
+
+MicrobenchWorkload::MicrobenchWorkload(PlatformSpec platform)
+    : MicrobenchWorkload(std::move(platform), Params{})
+{
+}
+
+MicrobenchWorkload::MicrobenchWorkload(PlatformSpec platform,
+                                       Params params)
+    : _platform(std::move(platform)), _params(params)
+{
+    if (_params.bytesPerCta == 0 ||
+        _params.totalBytes < _params.bytesPerCta) {
+        fatalError("MicrobenchWorkload: bad data shape");
+    }
+}
+
+void
+MicrobenchWorkload::setup(int num_gpus)
+{
+    if (num_gpus < 1)
+        fatalError("MicrobenchWorkload: need at least one GPU");
+    _numGpus = num_gpus;
+
+    _numCtas =
+        static_cast<int>(_params.totalBytes / _params.bytesPerCta);
+    _data.assign(_params.totalBytes / 8, 0.0);
+
+    // Analytic cudaMemcpy duplication time on the *platform's* GPU
+    // count (tuning is a property of the machine, not of this run's
+    // GPU count, so single-GPU baselines use the same kernel).
+    const int peers = std::max(1, _platform.numGpus - 1);
+    const PacketModel packet =
+        packetModelFor(_platform.fabric.protocol);
+    const std::uint64_t wire = packet.wireBytes(
+        _params.totalBytes, packet.maxPayloadBytes);
+    _targetTransfer = _platform.gpu.dmaInitLatency
+        + transferTicks(wire * peers, _platform.fabric.egressRate());
+
+    // Tune per-CTA local traffic so the memory-bound source kernel
+    // runs for ~the transfer time: total kernel time ~= numCtas * L /
+    // memBw under the wave occupancy model.
+    const double seconds = secondsFromTicks(_targetTransfer);
+    _ctaLocalBytes = static_cast<std::uint64_t>(
+        seconds * _platform.gpu.memBandwidth
+        / static_cast<double>(_numCtas));
+    _ctaLocalBytes = std::max<std::uint64_t>(
+        _ctaLocalBytes, _params.bytesPerCta);
+}
+
+void
+MicrobenchWorkload::computeCta(int cta, int iter)
+{
+    const std::uint64_t doubles_per_cta = _params.bytesPerCta / 8;
+    const std::uint64_t lo =
+        static_cast<std::uint64_t>(cta) * doubles_per_cta;
+    for (std::uint64_t i = 0; i < doubles_per_cta; ++i) {
+        _data[lo + i] = static_cast<double>(iter + 1)
+            * static_cast<double>(lo + i + _params.seed);
+    }
+}
+
+Phase
+MicrobenchWorkload::buildPhase(int iter)
+{
+    _itersRun = std::max(_itersRun, iter + 1);
+
+    Phase p;
+    p.perGpu.resize(_numGpus);
+
+    // Source GPU 0 produces everything.
+    GpuPhaseWork &src = p.perGpu[0];
+    src.kernel.name = "microbench_producer";
+    src.kernel.numCtas = _numCtas;
+    const std::uint64_t local = _ctaLocalBytes;
+    src.kernel.body = [this, iter, local](const CtaContext &ctx) {
+        if (ctx.functional)
+            computeCta(ctx.ctaId, iter);
+        CtaWork work;
+        work.flops = 0.0;
+        work.localBytes = local;
+        return work;
+    };
+    src.bytesProduced = _params.totalBytes;
+    const std::uint64_t bytes_per_cta = _params.bytesPerCta;
+    src.ctaRange = [bytes_per_cta](int cta) {
+        const std::uint64_t lo =
+            static_cast<std::uint64_t>(cta) * bytes_per_cta;
+        return ByteRange{lo, lo + bytes_per_cta};
+    };
+
+    // Destination GPUs idle until the next phase.
+    for (int g = 1; g < _numGpus; ++g) {
+        GpuPhaseWork &dst = p.perGpu[g];
+        dst.kernel.name = "microbench_consumer";
+        dst.kernel.numCtas = 1;
+        dst.kernel.body = [](const CtaContext &) {
+            CtaWork work;
+            work.localBytes = 4 * KiB;
+            return work;
+        };
+        dst.bytesProduced = 0;
+    }
+    return p;
+}
+
+bool
+MicrobenchWorkload::verify() const
+{
+    // After a full functional run, every element holds the final
+    // iteration's pattern.
+    const double factor = static_cast<double>(_params.iterations);
+    const std::uint64_t n = _data.size();
+    const std::uint64_t stride = std::max<std::uint64_t>(1, n / 4096);
+    for (std::uint64_t i = 0; i < n; i += stride) {
+        const double expect =
+            factor * static_cast<double>(i + _params.seed);
+        if (_data[i] != expect)
+            return false;
+    }
+    return true;
+}
+
+} // namespace proact

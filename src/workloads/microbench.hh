@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Microbenchmark workload (paper Sec. IV-C, Figs. 4 and 6).
+ *
+ * A synthetic compute kernel on a *source GPU* produces data needed
+ * in its entirety by every *destination GPU* for the next phase. Per
+ * the paper, each source CTA generates 4 KB and the kernel's compute
+ * time is tuned to match the cudaMemcpy transfer time on the target
+ * platform, so an ideal interconnect yields exactly 2x speedup over
+ * bulk transfers. The tuning is analytic against the platform's
+ * memory bandwidth and fabric parameters (the paper tunes against
+ * real hardware the same way).
+ */
+
+#ifndef PROACT_WORKLOADS_MICROBENCH_HH
+#define PROACT_WORKLOADS_MICROBENCH_HH
+
+#include "system/platform.hh"
+#include "workloads/workload.hh"
+
+#include <cstdint>
+#include <vector>
+
+namespace proact {
+
+/** Producer/consumer microbenchmark with tunable compute weight. */
+class MicrobenchWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Total data the source GPU produces per phase. */
+        std::uint64_t totalBytes = 64 * MiB;
+
+        /** Data each source CTA generates (paper: 4 KB). */
+        std::uint64_t bytesPerCta = 4 * KiB;
+
+        int iterations = 4;
+        std::uint64_t seed = 2021;
+    };
+
+    /**
+     * @param platform Target machine; the compute weight is tuned so
+     *        the source kernel's duration matches the platform's
+     *        cudaMemcpy duplication time for totalBytes.
+     */
+    explicit MicrobenchWorkload(PlatformSpec platform);
+    MicrobenchWorkload(PlatformSpec platform, Params params);
+
+    std::string name() const override { return "Microbenchmark"; }
+    void setup(int num_gpus) override;
+    int numIterations() const override { return _params.iterations; }
+    Phase buildPhase(int iter) override;
+
+    TrafficProfile
+    traffic() const override
+    {
+        return TrafficProfile{256, true};
+    }
+
+    bool verify() const override;
+
+    /** Tuned local traffic per CTA (bytes). */
+    std::uint64_t ctaLocalBytes() const { return _ctaLocalBytes; }
+
+    /** Analytic cudaMemcpy duplication time the kernel is tuned to. */
+    Tick targetTransferTicks() const { return _targetTransfer; }
+
+  private:
+    PlatformSpec _platform;
+    Params _params;
+    std::vector<double> _data;
+    std::uint64_t _ctaLocalBytes = 0;
+    Tick _targetTransfer = 0;
+    int _numCtas = 0;
+    int _itersRun = 0;
+
+    void computeCta(int cta, int iter);
+};
+
+} // namespace proact
+
+#endif // PROACT_WORKLOADS_MICROBENCH_HH

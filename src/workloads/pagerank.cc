@@ -1,0 +1,137 @@
+#include "workloads/pagerank.hh"
+
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proact {
+
+void
+PagerankWorkload::setup(int num_gpus)
+{
+    if (num_gpus < 1)
+        fatalError("PagerankWorkload: need at least one GPU");
+    _numGpus = num_gpus;
+
+    _graph = generateRmat(_params.graph);
+    const std::int64_t n = _graph.numVertices;
+    _rankOld.assign(n, 1.0 / static_cast<double>(n));
+    _rankNew.assign(n, 0.0);
+    _bounds = partitionByEdges(_graph, num_gpus);
+
+    // Edge-balanced CTA assignment (hubs would otherwise serialize
+    // whole kernels behind one monster CTA).
+    _ctaBounds.resize(num_gpus);
+    for (int g = 0; g < num_gpus; ++g) {
+        const std::int64_t verts = _bounds[g + 1] - _bounds[g];
+        const std::int64_t target_ctas = std::max<std::int64_t>(
+            1, verts / _params.vertsPerCta);
+        const std::int64_t edges =
+            _graph.edgesInRange(_bounds[g], _bounds[g + 1]);
+        _ctaBounds[g] = balanceByWeight(
+            _graph.inOffsets, _bounds[g], _bounds[g + 1],
+            std::max<std::int64_t>(1, edges / target_ctas),
+            4 * _params.vertsPerCta);
+    }
+}
+
+std::pair<std::int64_t, std::int64_t>
+PagerankWorkload::ctaVerts(int gpu, int cta) const
+{
+    return {_ctaBounds[gpu][cta], _ctaBounds[gpu][cta + 1]};
+}
+
+void
+PagerankWorkload::computeCta(int gpu, int cta)
+{
+    const auto [lo, hi] = ctaVerts(gpu, cta);
+    const double base = (1.0 - _params.damping)
+        / static_cast<double>(_graph.numVertices);
+    for (std::int64_t v = lo; v < hi; ++v) {
+        double acc = 0.0;
+        for (std::int64_t e = _graph.inOffsets[v];
+             e < _graph.inOffsets[v + 1]; ++e) {
+            const std::int32_t u = _graph.inNeighbors[e];
+            const std::int32_t deg = _graph.outDegree[u];
+            if (deg > 0)
+                acc += _rankOld[u] / static_cast<double>(deg);
+        }
+        _rankNew[v] = base + _params.damping * acc;
+    }
+}
+
+CtaWork
+PagerankWorkload::ctaFootprint(int gpu, int cta) const
+{
+    const auto [lo, hi] = ctaVerts(gpu, cta);
+    const auto verts = static_cast<double>(hi - lo);
+    const auto edges =
+        static_cast<double>(_graph.edgesInRange(lo, hi));
+
+    CtaWork work;
+    work.flops = 2.0 * edges + 2.0 * verts;
+    // Per edge: neighbor id (4B), rank_old gather (8B), outdeg (4B);
+    // per vertex: offsets (8B) + rank_new store (8B).
+    work.localBytes =
+        static_cast<std::uint64_t>(edges * 16.0 + verts * 16.0);
+    return work;
+}
+
+Phase
+PagerankWorkload::buildPhase(int iter)
+{
+    Phase p;
+    p.perGpu.resize(_numGpus);
+
+    if (iter > 0)
+        std::swap(_rankOld, _rankNew);
+
+    for (int g = 0; g < _numGpus; ++g) {
+        const std::int64_t verts = _bounds[g + 1] - _bounds[g];
+        const int num_ctas =
+            static_cast<int>(_ctaBounds[g].size()) - 1;
+
+        GpuPhaseWork &work = p.perGpu[g];
+        work.kernel.name = "pagerank_pull";
+        work.kernel.numCtas = std::max(1, num_ctas);
+        work.kernel.body = [this, g](const CtaContext &ctx) {
+            if (ctx.functional)
+                computeCta(g, ctx.ctaId);
+            return ctaFootprint(g, ctx.ctaId);
+        };
+        work.bytesProduced = static_cast<std::uint64_t>(verts) * 8;
+
+        const std::vector<std::int64_t> *cta_bounds = &_ctaBounds[g];
+        const std::int64_t base = _bounds[g];
+        work.ctaRange = [cta_bounds, base](int cta) {
+            const std::uint64_t lo =
+                ((*cta_bounds)[cta] - base) * 8;
+            const std::uint64_t hi =
+                ((*cta_bounds)[cta + 1] - base) * 8;
+            return ByteRange{lo, hi};
+        };
+    }
+    return p;
+}
+
+bool
+PagerankWorkload::verify() const
+{
+    // Dangling vertices leak mass, so the sum lies in
+    // ((1 - d), 1]; it must be finite, positive everywhere, and the
+    // distribution must no longer be uniform after iterating.
+    double sum = 0.0, max_rank = 0.0;
+    for (const double r : _rankNew) {
+        if (!std::isfinite(r) || r < 0.0)
+            return false;
+        sum += r;
+        max_rank = std::max(max_rank, r);
+    }
+    const double uniform =
+        1.0 / static_cast<double>(_graph.numVertices);
+    return sum > 1.0 - _params.damping && sum <= 1.0 + 1e-9
+        && max_rank > 2.0 * uniform;
+}
+
+} // namespace proact

@@ -1,0 +1,68 @@
+#include "workloads/registry.hh"
+
+#include "sim/logging.hh"
+#include "workloads/als.hh"
+#include "workloads/jacobi.hh"
+#include "workloads/mbir.hh"
+#include "workloads/pagerank.hh"
+#include "workloads/sssp.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace proact {
+
+std::vector<std::string>
+standardWorkloadNames()
+{
+    return {"X-ray CT", "Jacobi", "Pagerank", "SSSP", "ALS"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, int scale_shift)
+{
+    const int s = std::clamp(scale_shift, 0, 8);
+
+    if (name == "X-ray CT") {
+        MbirWorkload::Params p;
+        p.numPixels >>= s;
+        return std::make_unique<MbirWorkload>(p);
+    }
+    if (name == "Jacobi") {
+        JacobiWorkload::Params p;
+        p.numUnknowns >>= s;
+        return std::make_unique<JacobiWorkload>(p);
+    }
+    if (name == "Pagerank") {
+        PagerankWorkload::Params p;
+        p.graph.numVertices >>= s;
+        p.graph.numEdges >>= s;
+        return std::make_unique<PagerankWorkload>(p);
+    }
+    if (name == "SSSP") {
+        SsspWorkload::Params p;
+        p.graph.numVertices >>= s;
+        p.graph.numEdges >>= s;
+        return std::make_unique<SsspWorkload>(p);
+    }
+    if (name == "ALS") {
+        AlsWorkload::Params p;
+        p.numUsers >>= s;
+        p.numItems >>= s;
+        p.numRatings >>= s;
+        return std::make_unique<AlsWorkload>(p);
+    }
+    fatalError("makeWorkload: unknown workload '", name, "'");
+}
+
+int
+envScaleShift()
+{
+    const char *env = std::getenv("PROACT_SCALE_SHIFT");
+    if (env == nullptr)
+        return 0;
+    const int v = std::atoi(env);
+    return std::clamp(v, 0, 8);
+}
+
+} // namespace proact

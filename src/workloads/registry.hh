@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Workload registry: the paper's five applications at standard sizes.
+ *
+ * Benchmark harnesses create workloads by name; a scale shift lets
+ * quick runs shrink every dimension by powers of two (set
+ * PROACT_SCALE_SHIFT=1,2,... in the environment) without changing
+ * any compute/communication *ratio* qualitatively.
+ */
+
+#ifndef PROACT_WORKLOADS_REGISTRY_HH
+#define PROACT_WORKLOADS_REGISTRY_HH
+
+#include "workloads/workload.hh"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace proact {
+
+/** The paper's application set in Fig. 7 order. */
+std::vector<std::string> standardWorkloadNames();
+
+/**
+ * Create a workload by name ("X-ray CT", "Jacobi", "Pagerank",
+ * "SSSP", "ALS") at standard size scaled down by 2^scale_shift.
+ * @throws FatalError for unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       int scale_shift = 0);
+
+/** Scale shift from PROACT_SCALE_SHIFT (0 when unset/invalid). */
+int envScaleShift();
+
+} // namespace proact
+
+#endif // PROACT_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the decoupled transfer agents (paper Sec. III-C).
+ */
+
+#include "proact/transfer_agent.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+namespace {
+
+struct AgentHarness
+{
+    MultiGpuSystem system;
+    int deliveries = 0;
+    std::uint64_t deliveredBytes = 0;
+    Tick lastDelivery = 0;
+    StatSet stats;
+
+    explicit AgentHarness(const PlatformSpec &platform = voltaPlatform())
+        : system(platform)
+    {
+    }
+
+    TransferAgent::Context
+    context(TransferMechanism mech, std::uint64_t chunk = 128 * KiB,
+            std::uint32_t threads = 2048, bool elide = false)
+    {
+        TransferAgent::Context ctx;
+        ctx.system = &system;
+        ctx.gpuId = 0;
+        ctx.config.mechanism = mech;
+        ctx.config.chunkBytes = chunk;
+        ctx.config.transferThreads = threads;
+        ctx.elideTransfers = elide;
+        ctx.stats = &stats;
+        ctx.onDelivered = [this](std::uint64_t bytes) {
+            ++deliveries;
+            deliveredBytes += bytes;
+            lastDelivery = system.now();
+        };
+        return ctx;
+    }
+};
+
+} // namespace
+
+TEST(Agents, FactoryCreatesEachMechanism)
+{
+    AgentHarness h;
+    EXPECT_EQ(makeAgent(TransferMechanism::Polling,
+                        h.context(TransferMechanism::Polling))
+                  ->mechanism(),
+              TransferMechanism::Polling);
+    EXPECT_EQ(makeAgent(TransferMechanism::Cdp,
+                        h.context(TransferMechanism::Cdp))
+                  ->mechanism(),
+              TransferMechanism::Cdp);
+    EXPECT_EQ(makeAgent(TransferMechanism::Hardware,
+                        h.context(TransferMechanism::Hardware))
+                  ->mechanism(),
+              TransferMechanism::Hardware);
+    EXPECT_THROW(makeAgent(TransferMechanism::Inline,
+                           h.context(TransferMechanism::Inline)),
+                 FatalError);
+}
+
+TEST(Agents, ChunkReachesEveryPeer)
+{
+    AgentHarness h;
+    auto agent = makeAgent(TransferMechanism::Hardware,
+                           h.context(TransferMechanism::Hardware));
+    agent->chunkReady(0, 4096);
+    h.system.run();
+    EXPECT_EQ(h.deliveries, h.system.numGpus() - 1);
+    EXPECT_EQ(h.deliveredBytes, 4096u * (h.system.numGpus() - 1));
+}
+
+TEST(Agents, PollingReservesResourcesForItsLifetime)
+{
+    AgentHarness h;
+    auto &gpu = h.system.gpu(0);
+    EXPECT_DOUBLE_EQ(gpu.memBwFactor(), 1.0);
+    {
+        PollingAgent agent(h.context(TransferMechanism::Polling));
+        EXPECT_LT(gpu.memBwFactor(), 1.0);
+        EXPECT_LT(gpu.computeFactor(), 1.0);
+        EXPECT_GT(agent.memBwShare(), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(gpu.memBwFactor(), 1.0);
+    EXPECT_DOUBLE_EQ(gpu.computeFactor(), 1.0);
+}
+
+TEST(Agents, PollingSharesMatchTheScanLoopModel)
+{
+    // The bitmap scan's memory-bandwidth cost is a property of the
+    // loop, not of the data-moving thread count (Fig. 4: threads
+    // beyond saturation neither help nor hurt); SM occupancy does
+    // scale with the thread count.
+    AgentHarness h;
+    PollingAgent small(
+        h.context(TransferMechanism::Polling, 128 * KiB, 32));
+
+    AgentHarness h2;
+    PollingAgent big(
+        h2.context(TransferMechanism::Polling, 128 * KiB, 8192));
+
+    EXPECT_DOUBLE_EQ(big.memBwShare(), small.memBwShare());
+    EXPECT_GT(big.computeShare(), small.computeShare());
+}
+
+TEST(Agents, PollingDiscoveryWaitsForPollTick)
+{
+    AgentHarness h;
+    PollingAgent agent(h.context(TransferMechanism::Polling));
+    const Tick interval = h.system.gpu(0).spec().pollInterval;
+
+    agent.chunkReady(0, 1024);
+    h.system.run();
+    // Delivery cannot precede the next bitmap scan.
+    EXPECT_GE(h.lastDelivery, interval);
+    EXPECT_DOUBLE_EQ(h.stats.get("polls"), 1.0);
+    EXPECT_DOUBLE_EQ(h.stats.get("bitmap_sets"), 1.0);
+}
+
+TEST(Agents, PollingSerializesPerChunkSetup)
+{
+    AgentHarness h;
+    PollingAgent agent(h.context(TransferMechanism::Polling, 4096));
+    for (int c = 0; c < 100; ++c)
+        agent.chunkReady(c, 64); // Tiny chunks: setup dominates.
+    h.system.run();
+    EXPECT_EQ(h.deliveries, 100 * (h.system.numGpus() - 1));
+    // 100 chunks x 1 us setup each, serialized.
+    EXPECT_GE(h.lastDelivery, 100 * PollingAgent::chunkSetupCost);
+}
+
+TEST(Agents, CdpPaysLaunchLatency)
+{
+    AgentHarness h;
+    CdpAgent agent(h.context(TransferMechanism::Cdp));
+    agent.chunkReady(0, 1024);
+    h.system.run();
+    EXPECT_GE(h.lastDelivery,
+              h.system.gpu(0).spec().cdpLaunchLatency);
+    EXPECT_DOUBLE_EQ(h.stats.get("cdp_launches"), 1.0);
+}
+
+TEST(Agents, CdpLaunchEngineSerializes)
+{
+    AgentHarness h;
+    CdpAgent agent(h.context(TransferMechanism::Cdp, 4096));
+    const int chunks = 50;
+    for (int c = 0; c < chunks; ++c)
+        agent.chunkReady(c, 64);
+    h.system.run();
+    EXPECT_GE(h.lastDelivery,
+              chunks * h.system.gpu(0).spec().cdpLaunchLatency);
+}
+
+TEST(Agents, CdpWindowLimitsConcurrentChildren)
+{
+    AgentHarness h;
+    CdpAgent agent(h.context(TransferMechanism::Cdp, 1 * MiB));
+    for (int c = 0; c < 100; ++c)
+        agent.chunkReady(c, 1 * MiB);
+    EXPECT_LE(agent.activeChildren(),
+              CdpAgent::maxConcurrentChildren);
+    h.system.run();
+    EXPECT_EQ(h.deliveries, 100 * (h.system.numGpus() - 1));
+    EXPECT_EQ(agent.activeChildren(), 0);
+}
+
+TEST(Agents, HardwareAgentIsFastest)
+{
+    auto last_delivery = [](TransferMechanism mech) {
+        AgentHarness h;
+        auto agent = makeAgent(mech, h.context(mech));
+        agent->chunkReady(0, 128 * KiB);
+        h.system.run();
+        return h.lastDelivery;
+    };
+    const Tick hw = last_delivery(TransferMechanism::Hardware);
+    EXPECT_LE(hw, last_delivery(TransferMechanism::Polling));
+    EXPECT_LE(hw, last_delivery(TransferMechanism::Cdp));
+}
+
+TEST(Agents, ElideTransfersSkipsFabricKeepsInitiation)
+{
+    AgentHarness h;
+    CdpAgent agent(
+        h.context(TransferMechanism::Cdp, 128 * KiB, 2048, true));
+    agent.chunkReady(0, 128 * KiB);
+    h.system.run();
+    EXPECT_EQ(h.deliveries, h.system.numGpus() - 1);
+    EXPECT_EQ(h.system.fabric().totalPayloadBytes(), 0u);
+    // Initiation latency is still paid (Fig. 8/9 methodology).
+    EXPECT_GE(h.lastDelivery,
+              h.system.gpu(0).spec().cdpLaunchLatency);
+}
+
+TEST(Agents, ThreadCountGatesAchievedBandwidth)
+{
+    auto delivery_time = [](std::uint32_t threads) {
+        AgentHarness h;
+        PollingAgent agent(h.context(TransferMechanism::Polling,
+                                     4 * MiB, threads));
+        agent.chunkReady(0, 4 * MiB);
+        h.system.run();
+        return h.lastDelivery;
+    };
+    // 32 threads cannot saturate NVLink2 egress; 8192 can.
+    EXPECT_GT(delivery_time(32), 2 * delivery_time(8192));
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for configuration rendering and environment-variable
+ * parsing used by the benchmark harnesses.
+ */
+
+#include "proact/config.hh"
+#include "workloads/registry.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace proact;
+
+namespace {
+
+/** RAII environment-variable override. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : _name(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            _had = true;
+            _old = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (_had)
+            ::setenv(_name, _old.c_str(), 1);
+        else
+            ::unsetenv(_name);
+    }
+
+  private:
+    const char *_name;
+    bool _had = false;
+    std::string _old;
+};
+
+} // namespace
+
+TEST(ConfigEnv, ScaleShiftDefaultsToZero)
+{
+    ScopedEnv env("PROACT_SCALE_SHIFT", nullptr);
+    EXPECT_EQ(envScaleShift(), 0);
+}
+
+TEST(ConfigEnv, ScaleShiftParsesAndClamps)
+{
+    {
+        ScopedEnv env("PROACT_SCALE_SHIFT", "3");
+        EXPECT_EQ(envScaleShift(), 3);
+    }
+    {
+        ScopedEnv env("PROACT_SCALE_SHIFT", "99");
+        EXPECT_EQ(envScaleShift(), 8); // Clamped.
+    }
+    {
+        ScopedEnv env("PROACT_SCALE_SHIFT", "-4");
+        EXPECT_EQ(envScaleShift(), 0);
+    }
+    {
+        ScopedEnv env("PROACT_SCALE_SHIFT", "garbage");
+        EXPECT_EQ(envScaleShift(), 0);
+    }
+}
+
+TEST(ConfigEnv, ScaledWorkloadsShrink)
+{
+    auto big = makeWorkload("Jacobi", 0);
+    auto small = makeWorkload("Jacobi", 2);
+    big->setup(1);
+    small->setup(1);
+    const Phase pb = big->phase(0);
+    const Phase ps = small->phase(0);
+    EXPECT_EQ(pb.perGpu[0].bytesProduced,
+              4 * ps.perGpu[0].bytesProduced);
+}
+
+TEST(ConfigEnv, FormatBytesRendering)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(4 * KiB), "4kB");
+    EXPECT_EQ(formatBytes(128 * KiB), "128kB");
+    EXPECT_EQ(formatBytes(1 * MiB), "1MB");
+    EXPECT_EQ(formatBytes(16 * MiB), "16MB");
+    EXPECT_EQ(formatBytes(2 * GiB), "2GB");
+    // Non-power-of-two values fall back to raw bytes.
+    EXPECT_EQ(formatBytes(1000), "1000B");
+}
+
+TEST(ConfigEnv, MechanismNamesRoundTrip)
+{
+    EXPECT_EQ(mechanismName(TransferMechanism::Inline), "inline");
+    EXPECT_EQ(mechanismName(TransferMechanism::Polling), "polling");
+    EXPECT_EQ(mechanismName(TransferMechanism::Cdp), "cdp");
+    EXPECT_EQ(mechanismName(TransferMechanism::Hardware), "hardware");
+    EXPECT_EQ(mechanismCode(TransferMechanism::Polling), "Poll");
+    EXPECT_EQ(mechanismCode(TransferMechanism::Hardware), "HW");
+}
+
+TEST(ConfigEnv, DecoupledPredicate)
+{
+    TransferConfig config;
+    config.mechanism = TransferMechanism::Inline;
+    EXPECT_FALSE(config.decoupled());
+    for (const auto mech :
+         {TransferMechanism::Polling, TransferMechanism::Cdp,
+          TransferMechanism::Hardware}) {
+        config.mechanism = mech;
+        EXPECT_TRUE(config.decoupled());
+    }
+}

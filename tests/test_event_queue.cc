@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+using namespace proact;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.runNext());
+}
+
+TEST(EventQueue, DispatchAdvancesClock)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(100, [&] { fired = true; });
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.runNext());
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.curTick(), 100u);
+}
+
+TEST(EventQueue, EventsRunInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] { order.push_back(2); }, 1);
+    eq.schedule(50, [&] { order.push_back(0); }, 0);
+    eq.schedule(50, [&] { order.push_back(3); }, 1);
+    eq.schedule(50, [&] { order.push_back(1); }, 0);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, SchedulingInThePastThrows)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, CallbackMayScheduleAtCurrentTick)
+{
+    EventQueue eq;
+    bool nested = false;
+    eq.schedule(10, [&] {
+        eq.schedule(eq.curTick(), [&] { nested = true; });
+    });
+    eq.run();
+    EXPECT_TRUE(nested);
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(100, [&] { fired = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleUnknownIdIsNoop)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.deschedule(12345));
+}
+
+TEST(EventQueue, DescheduleFiredEventIsNoop)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(200, [&] { ++fired; });
+    eq.schedule(300, [&] { ++fired; });
+    eq.runUntil(200);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 200u);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockOnIdleQueue)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.curTick(), 500u);
+}
+
+TEST(EventQueue, PendingAndDispatchedCounts)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pendingEvents(), 2u);
+    eq.run();
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+    EXPECT_EQ(eq.dispatchedEvents(), 2u);
+}
+
+TEST(EventQueue, ManyEventsDeterministicOrder)
+{
+    // The same schedule must dispatch identically across runs.
+    auto run_once = [] {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 1000; ++i) {
+            eq.schedule((i * 37) % 251, [&order, i] {
+                order.push_back(i);
+            });
+        }
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EventQueue, CancelledEventsDoNotBlockRunUntil)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(100, [] {});
+    eq.schedule(300, [] {});
+    eq.deschedule(id);
+    eq.runUntil(200);
+    EXPECT_EQ(eq.curTick(), 200u);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+}

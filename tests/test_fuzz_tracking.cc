@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Seeded-random fuzz tests of the readiness-tracking core: random
+ * partition sizes, chunk granularities and CTA tilings must always
+ * produce exact counter accounting, and random traffic on the fabric
+ * must conserve bytes.
+ */
+
+#include "interconnect/interconnect.hh"
+#include "proact/region.hh"
+#include "sim/random.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace proact;
+
+namespace {
+
+/** Random contiguous tiling of [0, partition) into cta ranges. */
+std::vector<ByteRange>
+randomTiling(Rng &rng, std::uint64_t partition, int num_ctas)
+{
+    std::vector<std::uint64_t> cuts{0, partition};
+    for (int i = 1; i < num_ctas; ++i)
+        cuts.push_back(rng.below(partition + 1));
+    std::sort(cuts.begin(), cuts.end());
+    std::vector<ByteRange> ranges;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+        ranges.push_back(ByteRange{cuts[i], cuts[i + 1]});
+    return ranges;
+}
+
+} // namespace
+
+class TrackingFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TrackingFuzz, RandomTilingsAccountExactly)
+{
+    Rng rng(GetParam());
+    for (int round = 0; round < 50; ++round) {
+        const std::uint64_t partition = 1 + rng.below(1 << 20);
+        const std::uint64_t chunk = 1 + rng.below(128 * KiB);
+        const int num_ctas = 1 + static_cast<int>(rng.below(64));
+
+        const auto ranges = randomTiling(rng, partition, num_ctas);
+        RegionTracker tracker(partition, chunk);
+        tracker.initCounters(
+            static_cast<int>(ranges.size()),
+            [&ranges](int cta) { return ranges[cta]; });
+
+        // Deliver CTAs in a random order.
+        std::vector<int> order(ranges.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = static_cast<int>(i);
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+
+        std::vector<int> ready;
+        std::uint64_t decrements = 0;
+        std::uint64_t ready_bytes = 0;
+        for (const int cta : order) {
+            ready.clear();
+            decrements += static_cast<std::uint64_t>(
+                tracker.ctaArrived(ranges[cta], ready));
+            for (const int c : ready)
+                ready_bytes += tracker.chunkSize(c);
+        }
+
+        ASSERT_TRUE(tracker.allReady())
+            << "seed " << GetParam() << " round " << round;
+        ASSERT_EQ(decrements, tracker.decrementsPerIteration());
+        ASSERT_EQ(ready_bytes, partition);
+    }
+}
+
+TEST_P(TrackingFuzz, RandomFabricTrafficConservesBytes)
+{
+    Rng rng(GetParam() + 1000);
+    EventQueue eq;
+    Interconnect fabric(eq, nvlink2Fabric(), 4);
+
+    std::uint64_t submitted = 0;
+    long delivered_events = 0;
+    std::uint64_t delivered_bytes = 0;
+    const int transfers = 200;
+
+    for (int i = 0; i < transfers; ++i) {
+        Interconnect::Request req;
+        req.src = static_cast<int>(rng.below(4));
+        req.dst = static_cast<int>(rng.below(4));
+        if (req.dst == req.src)
+            req.dst = (req.dst + 1) % 4;
+        req.bytes = 1 + rng.below(1 << 18);
+        req.writeGranularity =
+            static_cast<std::uint32_t>(1 + rng.below(512));
+        req.threads = static_cast<std::uint32_t>(rng.below(4096));
+        const std::uint64_t bytes = req.bytes;
+        req.onComplete = [&, bytes] {
+            ++delivered_events;
+            delivered_bytes += bytes;
+        };
+        submitted += bytes;
+        fabric.transfer(req);
+    }
+    eq.run();
+
+    EXPECT_EQ(delivered_events, transfers);
+    EXPECT_EQ(delivered_bytes, submitted);
+    EXPECT_EQ(fabric.totalPayloadBytes(), submitted);
+    EXPECT_GE(fabric.totalWireBytes(), submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackingFuzz,
+                         ::testing::Values(1u, 42u, 20260706u));

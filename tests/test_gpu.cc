@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the GPU timing model: specs, kernel streams, wave
+ * scheduling, the HBM channel, the atomic unit, and interference
+ * reservations.
+ */
+
+#include "gpu/gpu.hh"
+#include "gpu/gpu_spec.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+namespace {
+
+KernelLaunch
+simpleKernel(int num_ctas, double flops, std::uint64_t local_bytes,
+             EventQueue::Callback on_complete = nullptr)
+{
+    KernelLaunch launch;
+    launch.desc.name = "test";
+    launch.desc.numCtas = num_ctas;
+    launch.desc.body = [flops, local_bytes](const CtaContext &) {
+        CtaWork w;
+        w.flops = flops;
+        w.localBytes = local_bytes;
+        return w;
+    };
+    launch.onComplete = std::move(on_complete);
+    return launch;
+}
+
+} // namespace
+
+TEST(GpuSpec, TableOneValues)
+{
+    const GpuSpec kepler = keplerSpec();
+    EXPECT_EQ(kepler.numSms, 15);
+    EXPECT_DOUBLE_EQ(kepler.tflops, 1.43);
+    EXPECT_DOUBLE_EQ(kepler.memBandwidth, 288.4e9);
+    EXPECT_EQ(kepler.memCapacity, 12 * GiB);
+    EXPECT_FALSE(kepler.umPageFaulting);
+
+    const GpuSpec pascal = pascalSpec();
+    EXPECT_EQ(pascal.numSms, 56);
+    EXPECT_TRUE(pascal.umPageFaulting);
+
+    const GpuSpec volta = voltaSpec();
+    EXPECT_EQ(volta.numSms, 80);
+    EXPECT_DOUBLE_EQ(volta.memBandwidth, 920.0e9);
+    EXPECT_EQ(volta32Spec().memCapacity, 32 * GiB);
+}
+
+TEST(GpuSpec, DerivedQuantities)
+{
+    const GpuSpec volta = voltaSpec();
+    EXPECT_NEAR(volta.smFlops(), 7.8e12 / 80.0, 1e3);
+    EXPECT_EQ(volta.maxResidentCtas(), 80 * 8);
+}
+
+TEST(GpuSpec, VoltaCdpLaunchCostsMost)
+{
+    // Paper Sec. V-A: dynamic-kernel initiation highest on Volta.
+    EXPECT_GT(voltaSpec().cdpLaunchLatency,
+              pascalSpec().cdpLaunchLatency);
+    EXPECT_GT(voltaSpec().cdpLaunchLatency,
+              keplerSpec().cdpLaunchLatency);
+}
+
+TEST(Gpu, LaunchValidation)
+{
+    EventQueue eq;
+    Gpu gpu(eq, voltaSpec(), 0);
+    KernelLaunch bad;
+    bad.desc.numCtas = 0;
+    bad.desc.body = [](const CtaContext &) { return CtaWork{}; };
+    EXPECT_THROW(gpu.launch(bad), FatalError);
+
+    KernelLaunch nobody;
+    nobody.desc.numCtas = 1;
+    EXPECT_THROW(gpu.launch(nobody), FatalError);
+}
+
+TEST(Gpu, MemoryBoundKernelTimeMatchesBandwidth)
+{
+    EventQueue eq;
+    const GpuSpec spec = voltaSpec();
+    Gpu gpu(eq, spec, 0);
+
+    // 1024 CTAs x 1 MB = 1 GB of traffic at 920 GB/s ~= 1.087 ms.
+    Tick end = 0;
+    gpu.launch(simpleKernel(1024, 0.0, 1 << 20,
+                            [&] { end = eq.curTick(); }));
+    eq.run();
+    const double seconds = secondsFromTicks(end);
+    EXPECT_NEAR(seconds, 1.0737e9 / 920.0e9, 0.05e-3);
+}
+
+TEST(Gpu, ComputeBoundKernelScalesWithWaves)
+{
+    EventQueue eq;
+    const GpuSpec spec = voltaSpec();
+    Gpu gpu(eq, spec, 0);
+
+    // 2 waves of max-resident CTAs, each 97.5 GFLOP/SM * 10 us.
+    const double cta_flops = spec.smFlops() * 10e-6;
+    const int ctas = spec.maxResidentCtas() * 2;
+    Tick end = 0;
+    gpu.launch(simpleKernel(ctas, cta_flops, 0,
+                            [&] { end = eq.curTick(); }));
+    eq.run();
+    // ~2 waves x 10 us + launch latency.
+    const Tick expected =
+        spec.kernelLaunchLatency + 2 * 10 * ticksPerMicrosecond;
+    EXPECT_NEAR(static_cast<double>(end),
+                static_cast<double>(expected), 1e6 /* 1 us */);
+}
+
+TEST(Gpu, StragglerDrainsAtFullBandwidth)
+{
+    // One monster CTA among small ones must not serialize the kernel
+    // at a fractional bandwidth share (regression test for the
+    // fixed-share model).
+    EventQueue eq;
+    const GpuSpec spec = voltaSpec();
+    Gpu gpu(eq, spec, 0);
+
+    KernelLaunch launch;
+    launch.desc.numCtas = 100;
+    launch.desc.body = [](const CtaContext &ctx) {
+        CtaWork w;
+        w.localBytes = ctx.ctaId == 99 ? (64 << 20) : 1024;
+        return w;
+    };
+    Tick end = 0;
+    launch.onComplete = [&] { end = eq.curTick(); };
+    gpu.launch(launch);
+    eq.run();
+
+    // Total traffic ~64 MB at 920 GB/s ~= 73 us (plus overheads),
+    // far below the ~4.5 ms a 1/640 share would cost.
+    EXPECT_LT(secondsFromTicks(end), 0.3e-3);
+}
+
+TEST(Gpu, StreamSerializesKernels)
+{
+    EventQueue eq;
+    Gpu gpu(eq, voltaSpec(), 0);
+    std::vector<int> order;
+    gpu.launch(simpleKernel(8, 0, 1 << 20,
+                            [&] { order.push_back(1); }));
+    gpu.launch(simpleKernel(8, 0, 1024,
+                            [&] { order.push_back(2); }));
+    EXPECT_TRUE(gpu.busy());
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_FALSE(gpu.busy());
+}
+
+TEST(Gpu, CtaHooksFireOncePerCta)
+{
+    EventQueue eq;
+    Gpu gpu(eq, voltaSpec(), 0);
+    std::vector<int> seen;
+    KernelLaunch launch = simpleKernel(10, 0, 4096);
+    launch.onCtaComplete = [&](int cta) { seen.push_back(cta); };
+    gpu.launch(launch);
+    eq.run();
+    EXPECT_EQ(seen.size(), 10u);
+    std::sort(seen.begin(), seen.end());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(seen[i], i);
+}
+
+TEST(Gpu, InstrumentedKernelPaysAtomicRoundTrip)
+{
+    EventQueue eq;
+    const GpuSpec spec = voltaSpec();
+
+    auto run = [&](bool instrumented) {
+        EventQueue q;
+        Gpu gpu(q, spec, 0);
+        KernelLaunch launch;
+        launch.desc.numCtas = 4;
+        launch.desc.body = [](const CtaContext &) {
+            CtaWork w;
+            w.localBytes = 1024;
+            return w;
+        };
+        launch.instrumented = instrumented;
+        Tick end = 0;
+        launch.onComplete = [&end, &q] { end = q.curTick(); };
+        gpu.launch(launch);
+        q.run();
+        return end;
+    };
+
+    EXPECT_GE(run(true), run(false) + spec.atomicLatency);
+}
+
+TEST(Gpu, ComputeReservationSlowsComputeBoundKernels)
+{
+    const GpuSpec spec = voltaSpec();
+    auto run = [&](double share) {
+        EventQueue eq;
+        Gpu gpu(eq, spec, 0);
+        gpu.reserveCompute(share);
+        Tick end = 0;
+        gpu.launch(simpleKernel(spec.maxResidentCtas(),
+                                spec.smFlops() * 100e-6, 0,
+                                [&] { end = eq.curTick(); }));
+        eq.run();
+        return end;
+    };
+    const Tick base = run(0.0);
+    const Tick slowed = run(0.5);
+    EXPECT_NEAR(static_cast<double>(slowed - voltaSpec()
+                                                 .kernelLaunchLatency)
+                    / static_cast<double>(
+                          base - voltaSpec().kernelLaunchLatency),
+                2.0, 0.05);
+}
+
+TEST(Gpu, MemBwReservationSlowsMemoryBoundKernels)
+{
+    const GpuSpec spec = voltaSpec();
+    auto run = [&](double share) {
+        EventQueue eq;
+        Gpu gpu(eq, spec, 0);
+        gpu.reserveMemBw(share);
+        Tick end = 0;
+        gpu.launch(simpleKernel(512, 0, 1 << 20,
+                                [&] { end = eq.curTick(); }));
+        eq.run();
+        return end;
+    };
+    EXPECT_GT(run(0.5), run(0.0));
+}
+
+TEST(Gpu, ReleaseRestoresRates)
+{
+    EventQueue eq;
+    Gpu gpu(eq, voltaSpec(), 0);
+    gpu.reserveCompute(0.3);
+    gpu.reserveMemBw(0.2);
+    gpu.releaseCompute(0.3);
+    gpu.releaseMemBw(0.2);
+    EXPECT_DOUBLE_EQ(gpu.computeFactor(), 1.0);
+    EXPECT_DOUBLE_EQ(gpu.memBwFactor(), 1.0);
+}
+
+TEST(Gpu, HbmTrafficOverheadSlowsKernel)
+{
+    const GpuSpec spec = voltaSpec();
+    auto run = [&](double overhead) {
+        EventQueue eq;
+        Gpu gpu(eq, spec, 0);
+        KernelLaunch launch = simpleKernel(512, 0, 1 << 20);
+        launch.hbmTrafficOverhead = overhead;
+        Tick end = 0;
+        launch.onComplete = [&end, &eq] { end = eq.curTick(); };
+        gpu.launch(launch);
+        eq.run();
+        return end;
+    };
+    const Tick base = run(0.0);
+    const Tick loaded = run(0.12);
+    EXPECT_GT(loaded, base);
+    // The slowdown approaches the overhead fraction.
+    EXPECT_NEAR(static_cast<double>(loaded) / base, 1.12, 0.03);
+}
+
+TEST(Gpu, StatsAccumulate)
+{
+    EventQueue eq;
+    Gpu gpu(eq, voltaSpec(), 0);
+    gpu.launch(simpleKernel(16, 100.0, 2048));
+    eq.run();
+    EXPECT_DOUBLE_EQ(gpu.stats.get("kernels"), 1.0);
+    EXPECT_DOUBLE_EQ(gpu.stats.get("ctas"), 16.0);
+    EXPECT_DOUBLE_EQ(gpu.stats.get("flops"), 1600.0);
+    EXPECT_DOUBLE_EQ(gpu.stats.get("local_bytes"), 16.0 * 2048);
+}
+
+TEST(Gpu, FunctionalFlagReachesCtaContext)
+{
+    EventQueue eq;
+    Gpu gpu(eq, voltaSpec(), 0);
+    bool functional_seen = true;
+    gpu.setFunctional(false);
+    KernelLaunch launch;
+    launch.desc.numCtas = 1;
+    launch.desc.body = [&](const CtaContext &ctx) {
+        functional_seen = ctx.functional;
+        return CtaWork{};
+    };
+    gpu.launch(launch);
+    eq.run();
+    EXPECT_FALSE(functional_seen);
+}

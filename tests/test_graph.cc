@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit and property tests for the graph substrate.
+ */
+
+#include "workloads/graph.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace proact;
+
+TEST(Graph, RingStructure)
+{
+    const Graph g = generateRing(10, 2);
+    EXPECT_EQ(g.numVertices, 10);
+    EXPECT_EQ(g.numEdges(), 20);
+    for (std::int64_t v = 0; v < 10; ++v) {
+        EXPECT_EQ(g.inDegree(v), 2);
+        EXPECT_EQ(g.outDegree[v], 2);
+    }
+    // Vertex 0 receives edges from 8 and 9.
+    std::vector<int> sources(g.inNeighbors.begin() + g.inOffsets[0],
+                             g.inNeighbors.begin() + g.inOffsets[1]);
+    std::sort(sources.begin(), sources.end());
+    EXPECT_EQ(sources, (std::vector<int>{8, 9}));
+}
+
+TEST(Graph, RingRejectsBadShapes)
+{
+    EXPECT_THROW(generateRing(0, 1), FatalError);
+    EXPECT_THROW(generateRing(4, 0), FatalError);
+    EXPECT_THROW(generateRing(4, 4), FatalError);
+}
+
+TEST(Graph, RmatShapeAndConservation)
+{
+    RmatParams params;
+    params.numVertices = 1 << 12;
+    params.numEdges = 1 << 15;
+    const Graph g = generateRmat(params);
+
+    EXPECT_EQ(g.numVertices, params.numVertices);
+    EXPECT_EQ(g.numEdges(), params.numEdges);
+    // In-degrees and out-degrees both sum to the edge count.
+    EXPECT_EQ(g.inOffsets.back(), params.numEdges);
+    EXPECT_EQ(std::accumulate(g.outDegree.begin(), g.outDegree.end(),
+                              std::int64_t(0)),
+              params.numEdges);
+    // Weights within the configured range.
+    for (const float w : g.inWeights) {
+        EXPECT_GE(w, 1.0f);
+        EXPECT_LE(w, static_cast<float>(params.maxWeight));
+    }
+}
+
+TEST(Graph, RmatDeterministicForSeed)
+{
+    RmatParams params;
+    params.numVertices = 1 << 10;
+    params.numEdges = 1 << 13;
+    const Graph a = generateRmat(params);
+    const Graph b = generateRmat(params);
+    EXPECT_EQ(a.inOffsets, b.inOffsets);
+    EXPECT_EQ(a.inNeighbors, b.inNeighbors);
+    EXPECT_EQ(a.inWeights, b.inWeights);
+
+    params.seed = 43;
+    const Graph c = generateRmat(params);
+    EXPECT_NE(a.inNeighbors, c.inNeighbors);
+}
+
+TEST(Graph, RmatIsSkewed)
+{
+    RmatParams params;
+    params.numVertices = 1 << 14;
+    params.numEdges = 1 << 17;
+    params.shuffleVertices = false;
+    const Graph g = generateRmat(params);
+    std::int64_t max_deg = 0;
+    for (std::int64_t v = 0; v < g.numVertices; ++v)
+        max_deg = std::max(max_deg, g.inDegree(v));
+    const double mean_deg = static_cast<double>(g.numEdges())
+        / static_cast<double>(g.numVertices);
+    EXPECT_GT(static_cast<double>(max_deg), 20.0 * mean_deg);
+}
+
+TEST(Graph, ShufflingBalancesContiguousRanges)
+{
+    RmatParams params;
+    params.numVertices = 1 << 14;
+    params.numEdges = 1 << 17;
+
+    auto quarter_imbalance = [](const Graph &g) {
+        const std::int64_t q = g.numVertices / 4;
+        std::int64_t max_edges = 0;
+        for (int p = 0; p < 4; ++p) {
+            max_edges = std::max(
+                max_edges, g.edgesInRange(p * q, (p + 1) * q));
+        }
+        return static_cast<double>(max_edges)
+            / (static_cast<double>(g.numEdges()) / 4.0);
+    };
+
+    params.shuffleVertices = false;
+    const double skewed = quarter_imbalance(generateRmat(params));
+    params.shuffleVertices = true;
+    const double shuffled = quarter_imbalance(generateRmat(params));
+    EXPECT_LT(shuffled, skewed);
+    EXPECT_LT(shuffled, 1.2);
+}
+
+TEST(Graph, RmatRejectsInvalidParams)
+{
+    RmatParams params;
+    params.numVertices = 1000; // Not a power of two.
+    EXPECT_THROW(generateRmat(params), FatalError);
+    params.numVertices = 1024;
+    params.numEdges = 0;
+    EXPECT_THROW(generateRmat(params), FatalError);
+    params.numEdges = 100;
+    params.a = 0.5;
+    params.b = 0.3;
+    params.c = 0.3;
+    EXPECT_THROW(generateRmat(params), FatalError);
+}
+
+TEST(Graph, PartitionByEdgesBalances)
+{
+    RmatParams params;
+    params.numVertices = 1 << 13;
+    params.numEdges = 1 << 16;
+    const Graph g = generateRmat(params);
+    const auto bounds = partitionByEdges(g, 4);
+
+    ASSERT_EQ(bounds.size(), 5u);
+    EXPECT_EQ(bounds.front(), 0);
+    EXPECT_EQ(bounds.back(), g.numVertices);
+    for (int p = 0; p < 4; ++p) {
+        ASSERT_LE(bounds[p], bounds[p + 1]);
+        const double share = static_cast<double>(
+            g.edgesInRange(bounds[p], bounds[p + 1]));
+        EXPECT_NEAR(share / static_cast<double>(g.numEdges()), 0.25,
+                    0.08);
+    }
+}
+
+TEST(Graph, PartitionSinglePart)
+{
+    const Graph g = generateRing(100, 2);
+    const auto bounds = partitionByEdges(g, 1);
+    EXPECT_EQ(bounds, (std::vector<std::int64_t>{0, 100}));
+    EXPECT_THROW(partitionByEdges(g, 0), FatalError);
+}
+
+TEST(Graph, BalanceByWeightRespectsTargets)
+{
+    const Graph g = generateRing(1000, 4); // Uniform weight 4/row.
+    const auto bounds =
+        balanceByWeight(g.inOffsets, 0, 1000, 40, 100);
+    // 40 weight / 4 per row = 10 rows per CTA.
+    ASSERT_GE(bounds.size(), 2u);
+    EXPECT_EQ(bounds.front(), 0);
+    EXPECT_EQ(bounds.back(), 1000);
+    for (std::size_t i = 1; i + 1 < bounds.size(); ++i)
+        EXPECT_EQ(bounds[i] - bounds[i - 1], 10);
+}
+
+TEST(Graph, BalanceByWeightCapsRows)
+{
+    std::vector<std::int64_t> offsets(101, 0); // All-zero weights.
+    const auto bounds = balanceByWeight(offsets, 0, 100, 1000, 25);
+    // Weight never binds; the row cap does.
+    ASSERT_EQ(bounds.size(), 5u);
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_EQ(bounds[i] - bounds[i - 1], 25);
+}
+
+TEST(Graph, BalanceByWeightHandlesHeavyRows)
+{
+    // One row heavier than the target still forms its own CTA.
+    std::vector<std::int64_t> offsets = {0, 1000, 1001, 1002};
+    const auto bounds = balanceByWeight(offsets, 0, 3, 10, 100);
+    EXPECT_EQ(bounds.front(), 0);
+    EXPECT_EQ(bounds.back(), 3);
+    EXPECT_EQ(bounds[1], 1); // Heavy row isolated.
+}
+
+TEST(Graph, BalanceByWeightEmptyRange)
+{
+    std::vector<std::int64_t> offsets = {0, 1, 2};
+    const auto bounds = balanceByWeight(offsets, 1, 1, 10, 10);
+    ASSERT_EQ(bounds.size(), 2u);
+    EXPECT_EQ(bounds[0], 1);
+    EXPECT_EQ(bounds[1], 1);
+    EXPECT_THROW(balanceByWeight(offsets, 2, 1, 10, 10), FatalError);
+}

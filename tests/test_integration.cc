@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Integration tests: full profile-then-run pipelines on the real
+ * applications, cross-paradigm performance orderings, and the
+ * paper's headline relationships at test scale.
+ */
+
+#include "baselines/runner.hh"
+#include "proact/profiler.hh"
+#include "proact/runtime.hh"
+#include "tests/small_workloads.hh"
+#include "workloads/microbench.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+using namespace proact::test;
+
+namespace {
+
+Profiler::Options
+quickOptions()
+{
+    Profiler::Options options;
+    options.chunkSizes = {16 * KiB, 128 * KiB, 1 * MiB};
+    options.threadCounts = {256, 2048};
+    options.profileIterations = 1;
+    return options;
+}
+
+Tick
+runParadigmTicks(const PlatformSpec &platform, Workload &workload,
+                 const std::function<std::unique_ptr<Runtime>(
+                     MultiGpuSystem &)> &make)
+{
+    MultiGpuSystem system(platform);
+    system.setFunctional(false);
+    return make(system)->run(workload);
+}
+
+} // namespace
+
+TEST(Integration, ProfileThenRunVerifiesEveryApp)
+{
+    const PlatformSpec platform = voltaPlatform().withGpuCount(2);
+    for (const auto &name : smallWorkloadNames()) {
+        auto workload = makeSmallWorkload(name);
+        workload->setup(2);
+
+        Profiler profiler(platform, quickOptions());
+        const ProfileResult prof = profiler.profile(*workload);
+
+        MultiGpuSystem system(platform);
+        ProactRuntime::Options options;
+        options.config = prof.best;
+        if (!options.config.decoupled())
+            options.config.mechanism = TransferMechanism::Inline;
+        ProactRuntime runtime(system, options);
+        EXPECT_GT(runtime.run(*workload), 0u) << name;
+        EXPECT_TRUE(workload->verify()) << name;
+    }
+}
+
+TEST(Integration, EveryParadigmComputesTheSameAnswer)
+{
+    // SSSP verifies bitwise against a serial reference, so running
+    // it under every paradigm checks functional equivalence.
+    const PlatformSpec platform = voltaPlatform();
+    using Factory =
+        std::function<std::unique_ptr<Runtime>(MultiGpuSystem &)>;
+    const std::vector<Factory> paradigms = {
+        [](MultiGpuSystem &s) {
+            return std::make_unique<IdealRuntime>(s);
+        },
+        [](MultiGpuSystem &s) {
+            return std::make_unique<BulkMemcpyRuntime>(s);
+        },
+        [](MultiGpuSystem &s) {
+            return std::make_unique<UnifiedMemoryRuntime>(s);
+        },
+        [](MultiGpuSystem &s) {
+            ProactRuntime::Options o;
+            o.config.mechanism = TransferMechanism::Inline;
+            return std::make_unique<ProactRuntime>(s, o);
+        },
+        [](MultiGpuSystem &s) {
+            ProactRuntime::Options o;
+            o.config.mechanism = TransferMechanism::Cdp;
+            o.config.chunkBytes = 64 * KiB;
+            return std::make_unique<ProactRuntime>(s, o);
+        },
+    };
+
+    for (const auto &make : paradigms) {
+        auto workload = makeSmallWorkload("SSSP");
+        workload->setup(4);
+        MultiGpuSystem system(platform);
+        make(system)->run(*workload);
+        EXPECT_TRUE(workload->verify());
+    }
+}
+
+TEST(Integration, InfiniteBwBoundsEveryParadigm)
+{
+    for (const auto &name : {"Jacobi", "Pagerank"}) {
+        auto workload = makeSmallWorkload(name);
+        workload->setup(4);
+        const PlatformSpec platform = voltaPlatform();
+
+        const Tick ideal = runParadigmTicks(
+            platform, *workload, [](MultiGpuSystem &s) {
+                return std::make_unique<IdealRuntime>(s);
+            });
+        const Tick memcpy_t = runParadigmTicks(
+            platform, *workload, [](MultiGpuSystem &s) {
+                return std::make_unique<BulkMemcpyRuntime>(s);
+            });
+        const Tick proact = runParadigmTicks(
+            platform, *workload, [](MultiGpuSystem &s) {
+                ProactRuntime::Options o;
+                o.config.mechanism = TransferMechanism::Polling;
+                o.config.chunkBytes = 128 * KiB;
+                o.config.transferThreads = 2048;
+                return std::make_unique<ProactRuntime>(s, o);
+            });
+
+        EXPECT_LE(ideal, memcpy_t) << name;
+        EXPECT_LE(ideal, proact) << name;
+    }
+}
+
+TEST(Integration, DecoupledBeatsBulkOnCommunicationHeavyApps)
+{
+    // At communication-heavy shapes PROACT's overlap must beat the
+    // bulk-synchronous baseline (the paper's core claim).
+    auto workload = makeSmallWorkload("Pagerank");
+    workload->setFootprintScale(64);
+    workload->setup(4);
+    const PlatformSpec platform = voltaPlatform();
+
+    const Tick memcpy_t = runParadigmTicks(
+        platform, *workload, [](MultiGpuSystem &s) {
+            return std::make_unique<BulkMemcpyRuntime>(s);
+        });
+    const Tick proact = runParadigmTicks(
+        platform, *workload, [](MultiGpuSystem &s) {
+            ProactRuntime::Options o;
+            o.config.mechanism = TransferMechanism::Polling;
+            o.config.chunkBytes = 256 * KiB;
+            o.config.transferThreads = 2048;
+            return std::make_unique<ProactRuntime>(s, o);
+        });
+    EXPECT_LT(proact, memcpy_t);
+}
+
+TEST(Integration, InlineLosesWireEfficiencyOnScatteredApps)
+{
+    auto workload = makeSmallWorkload("ALS");
+    workload->setup(4);
+    const PlatformSpec platform = voltaPlatform();
+
+    auto transactions = [&](TransferMechanism mech) {
+        MultiGpuSystem system(platform);
+        system.setFunctional(false);
+        ProactRuntime::Options o;
+        o.config.mechanism = mech;
+        o.config.chunkBytes = 128 * KiB;
+        ProactRuntime runtime(system, o);
+        runtime.run(*workload);
+        return system.fabric().totalStoreTransactions();
+    };
+
+    const auto inline_txns = transactions(TransferMechanism::Inline);
+    const auto decoupled_txns =
+        transactions(TransferMechanism::Polling);
+    // Paper Sec. V-B reports 26x for ALS; the model gives the
+    // granularity ratio 256/8 = 32x.
+    EXPECT_GT(inline_txns, 20 * decoupled_txns);
+}
+
+TEST(Integration, MicrobenchmarkOverlapApproachesTwoX)
+{
+    // Compute is tuned to the memcpy transfer time, so perfect
+    // overlap doubles throughput (paper Sec. IV-C).
+    const PlatformSpec platform = voltaPlatform();
+    MicrobenchWorkload::Params params;
+    params.totalBytes = 16 * MiB;
+    MicrobenchWorkload workload(platform, params);
+    workload.setup(4);
+
+    MultiGpuSystem bulk_system(platform);
+    bulk_system.setFunctional(false);
+    BulkMemcpyRuntime bulk(bulk_system);
+    const Tick t_bulk = bulk.run(workload);
+
+    MultiGpuSystem proact_system(platform);
+    proact_system.setFunctional(false);
+    ProactRuntime::Options o;
+    o.config.mechanism = TransferMechanism::Polling;
+    o.config.chunkBytes = 256 * KiB;
+    o.config.transferThreads = 2048;
+    ProactRuntime runtime(proact_system, o);
+    const Tick t_proact = runtime.run(workload);
+
+    const double speedup = static_cast<double>(t_bulk)
+        / static_cast<double>(t_proact);
+    EXPECT_GT(speedup, 1.4);
+    EXPECT_LT(speedup, 2.1);
+}
+
+TEST(Integration, IdealScalingImprovesWithGpuCount)
+{
+    Tick prev = ~Tick(0);
+    for (const int n : {1, 2, 4, 8}) {
+        auto workload = makeSmallWorkload("Jacobi");
+        workload->setFootprintScale(64); // Work >> launch overheads.
+        workload->setup(n);
+        MultiGpuSystem system(dgx2Platform().withGpuCount(n));
+        system.setFunctional(false);
+        IdealRuntime runtime(system);
+        const Tick t = runtime.run(*workload);
+        EXPECT_LT(t, prev) << n << " GPUs";
+        prev = t;
+    }
+}
+
+TEST(Integration, MemcpyScalingFlattensOnPcie)
+{
+    // The paper's Kepler observation: beyond 2 GPUs the added
+    // transfer volume erases bulk-synchronous gains.
+    auto time_at = [](int n) {
+        auto workload = makeSmallWorkload("Pagerank");
+        workload->setFootprintScale(64);
+        workload->setup(n);
+        MultiGpuSystem system(keplerPlatform().withGpuCount(n));
+        system.setFunctional(false);
+        BulkMemcpyRuntime runtime(system);
+        return runtime.run(*workload);
+    };
+    const double gain_2_to_4 = static_cast<double>(time_at(2))
+        / static_cast<double>(time_at(4));
+    EXPECT_LT(gain_2_to_4, 1.5); // Far from the ideal 2x.
+}
+
+TEST(Integration, ProactScalesWhereMemcpyCannot)
+{
+    auto time_under = [](int n, bool proact) {
+        auto workload = makeSmallWorkload("Pagerank");
+        workload->setFootprintScale(64);
+        workload->setup(n);
+        MultiGpuSystem system(voltaPlatform().withGpuCount(n));
+        system.setFunctional(false);
+        if (proact) {
+            ProactRuntime::Options o;
+            o.config.mechanism = TransferMechanism::Polling;
+            o.config.chunkBytes = 128 * KiB;
+            o.config.transferThreads = 2048;
+            ProactRuntime runtime(system, o);
+            return runtime.run(*workload);
+        }
+        BulkMemcpyRuntime runtime(system);
+        return runtime.run(*workload);
+    };
+    const double proact_gain = static_cast<double>(time_under(2, true))
+        / static_cast<double>(time_under(4, true));
+    const double memcpy_gain =
+        static_cast<double>(time_under(2, false))
+        / static_cast<double>(time_under(4, false));
+    EXPECT_GT(proact_gain, memcpy_gain);
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the completion joiner.
+ */
+
+#include "sim/joiner.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+TEST(Joiner, FiresOnLastArrival)
+{
+    int fired = 0;
+    Joiner j(3, [&] { ++fired; });
+    j.arrive();
+    j.arrive();
+    EXPECT_EQ(fired, 0);
+    j.arrive();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(j.remaining(), 0);
+}
+
+TEST(Joiner, ZeroExpectedFiresImmediately)
+{
+    int fired = 0;
+    Joiner j(0, [&] { ++fired; });
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Joiner, ExtraArrivalPanics)
+{
+    Joiner j(1, nullptr);
+    j.arrive();
+    EXPECT_THROW(j.arrive(), PanicError);
+}
+
+TEST(Joiner, NegativeExpectedPanics)
+{
+    EXPECT_THROW(Joiner(-1, nullptr), PanicError);
+}
+
+TEST(Joiner, SharedArrivalsKeepJoinerAlive)
+{
+    EventQueue eq;
+    bool fired = false;
+    {
+        auto joiner = Joiner::make(2, [&] { fired = true; });
+        eq.schedule(10, Joiner::arrival(joiner));
+        eq.schedule(20, Joiner::arrival(joiner));
+        // The local shared_ptr goes out of scope here; the pending
+        // callbacks must keep the joiner alive.
+    }
+    eq.run();
+    EXPECT_TRUE(fired);
+}

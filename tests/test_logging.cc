@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the error-reporting helpers.
+ */
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+TEST(Logging, FatalErrorCarriesStreamedMessage)
+{
+    try {
+        fatalError("bad value ", 42, " in ", "config");
+        FAIL() << "fatalError returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "fatal: bad value 42 in config");
+    }
+}
+
+TEST(Logging, PanicErrorCarriesStreamedMessage)
+{
+    try {
+        panicError("invariant ", 1.5, " violated");
+        FAIL() << "panicError returned";
+    } catch (const PanicError &e) {
+        EXPECT_STREQ(e.what(), "panic: invariant 1.5 violated");
+    }
+}
+
+TEST(Logging, FatalIsRuntimePanicIsLogicError)
+{
+    // fatal() = user error, panic() = internal bug (gem5 semantics);
+    // the exception taxonomy mirrors that split.
+    EXPECT_THROW(fatalError("x"), std::runtime_error);
+    EXPECT_THROW(panicError("x"), std::logic_error);
+}
+
+TEST(Logging, QuietModeSuppressesWarnings)
+{
+    // warn()/inform() must never throw, quiet or not.
+    setQuiet(true);
+    EXPECT_NO_THROW(warn("suppressed"));
+    EXPECT_NO_THROW(inform("suppressed"));
+    setQuiet(false);
+    testing::internal::CaptureStderr();
+    warn("visible warning");
+    inform("visible info");
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: visible warning"), std::string::npos);
+    EXPECT_NE(err.find("info: visible info"), std::string::npos);
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for kernels producing multiple PROACT-enabled regions per
+ * iteration (Listing 1's region1, region2, ...).
+ */
+
+#include "harness/paradigm.hh"
+#include "proact/region.hh"
+#include "proact/runtime.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+namespace {
+
+/**
+ * Each iteration every GPU produces two regions of different sizes
+ * (think: solution vector + residual norm block), with contiguous
+ * CTA mappings on both.
+ */
+class TwoRegionWorkload : public Workload
+{
+  public:
+    static constexpr std::uint64_t regionABytes = 256 * KiB;
+    static constexpr std::uint64_t regionBBytes = 64 * KiB;
+    static constexpr int ctasPerGpu = 16;
+    static constexpr int iterations = 2;
+
+    std::string name() const override { return "TwoRegion"; }
+
+    void setup(int num_gpus) override { _numGpus = num_gpus; }
+
+    int numIterations() const override { return iterations; }
+
+    TrafficProfile
+    traffic() const override
+    {
+        return TrafficProfile{256, true};
+    }
+
+    bool verify() const override { return true; }
+
+  protected:
+    Phase
+    buildPhase(int) override
+    {
+        Phase p;
+        p.perGpu.resize(_numGpus);
+        for (int g = 0; g < _numGpus; ++g) {
+            GpuPhaseWork &work = p.perGpu[g];
+            work.kernel.name = "two_region";
+            work.kernel.numCtas = ctasPerGpu;
+            work.kernel.body = [](const CtaContext &) {
+                CtaWork w;
+                w.localBytes = 32 * KiB;
+                return w;
+            };
+            work.bytesProduced = regionABytes;
+            work.ctaRange =
+                mappings::contiguous(regionABytes, ctasPerGpu);
+            work.extraOutputs.push_back(RegionOutput{
+                regionBBytes,
+                mappings::contiguous(regionBBytes, ctasPerGpu)});
+        }
+        return p;
+    }
+};
+
+} // namespace
+
+TEST(MultiRegion, AllOutputsEnumeratesNonEmptyRegions)
+{
+    TwoRegionWorkload workload;
+    workload.setup(2);
+    const Phase phase = workload.phase(0);
+    const auto outputs = phase.perGpu[0].allOutputs();
+    ASSERT_EQ(outputs.size(), 2u);
+    EXPECT_EQ(outputs[0].bytesProduced,
+              TwoRegionWorkload::regionABytes);
+    EXPECT_EQ(outputs[1].bytesProduced,
+              TwoRegionWorkload::regionBBytes);
+    EXPECT_EQ(phase.perGpu[0].totalBytesProduced(),
+              TwoRegionWorkload::regionABytes
+                  + TwoRegionWorkload::regionBBytes);
+}
+
+TEST(MultiRegion, DecoupledTransfersBothRegions)
+{
+    for (const auto mech :
+         {TransferMechanism::Polling, TransferMechanism::Cdp,
+          TransferMechanism::Hardware}) {
+        TwoRegionWorkload workload;
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        system.setFunctional(false);
+        ProactRuntime::Options options;
+        options.config.mechanism = mech;
+        options.config.chunkBytes = 32 * KiB;
+        ProactRuntime runtime(system, options);
+        runtime.run(workload);
+
+        const std::uint64_t per_iter = 4ull * 3ull
+            * (TwoRegionWorkload::regionABytes
+               + TwoRegionWorkload::regionBBytes);
+        EXPECT_EQ(system.fabric().totalPayloadBytes(),
+                  per_iter * TwoRegionWorkload::iterations)
+            << mechanismName(mech);
+    }
+}
+
+TEST(MultiRegion, InlineMirrorsBothRegions)
+{
+    TwoRegionWorkload workload;
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    system.setFunctional(false);
+    ProactRuntime::Options options;
+    options.config.mechanism = TransferMechanism::Inline;
+    ProactRuntime runtime(system, options);
+    runtime.run(workload);
+
+    const std::uint64_t per_iter = 4ull * 3ull
+        * (TwoRegionWorkload::regionABytes
+           + TwoRegionWorkload::regionBBytes);
+    EXPECT_EQ(system.fabric().totalPayloadBytes(),
+              per_iter * TwoRegionWorkload::iterations);
+}
+
+TEST(MultiRegion, BaselinesDuplicateTotalBytes)
+{
+    for (const Paradigm p :
+         {Paradigm::CudaMemcpy, Paradigm::UnifiedMemory}) {
+        TwoRegionWorkload workload;
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        system.setFunctional(false);
+        makeRuntime(p, system)->run(workload);
+        EXPECT_GT(system.fabric().totalPayloadBytes(), 0u)
+            << paradigmName(p);
+    }
+}
+
+TEST(MultiRegion, CountersTrackedIndependentlyPerRegion)
+{
+    TwoRegionWorkload workload;
+    workload.setup(2);
+    MultiGpuSystem system(voltaPlatform().withGpuCount(2));
+    system.setFunctional(false);
+    ProactRuntime::Options options;
+    options.config.mechanism = TransferMechanism::Polling;
+    options.config.chunkBytes = 32 * KiB;
+    ProactRuntime runtime(system, options);
+    runtime.run(workload);
+
+    // Each CTA decrements one counter in each region it writes.
+    EXPECT_DOUBLE_EQ(
+        runtime.stats().get("counter_decrements"),
+        2.0 /* gpus */ * 2.0 /* regions */
+            * TwoRegionWorkload::ctasPerGpu
+            * TwoRegionWorkload::iterations);
+}
+
+TEST(MultiRegion, FootprintScaleAppliesToExtraOutputs)
+{
+    TwoRegionWorkload workload;
+    workload.setFootprintScale(4);
+    workload.setup(2);
+    const Phase phase = workload.phase(0);
+    const auto outputs = phase.perGpu[0].allOutputs();
+    ASSERT_EQ(outputs.size(), 2u);
+    EXPECT_EQ(outputs[1].bytesProduced,
+              4 * TwoRegionWorkload::regionBBytes);
+    EXPECT_EQ(outputs[1].ctaRange(0).hi * TwoRegionWorkload::ctasPerGpu,
+              4 * TwoRegionWorkload::regionBBytes
+                  * TwoRegionWorkload::ctasPerGpu
+                  / TwoRegionWorkload::ctasPerGpu);
+}
+
+TEST(MultiRegion, EmptyPrimaryWithExtraStillTransfers)
+{
+    class ExtraOnly : public TwoRegionWorkload
+    {
+      protected:
+        Phase
+        buildPhase(int iter) override
+        {
+            Phase p = TwoRegionWorkload::buildPhase(iter);
+            for (auto &work : p.perGpu) {
+                work.bytesProduced = 0;
+                work.ctaRange = nullptr;
+            }
+            return p;
+        }
+    };
+
+    ExtraOnly workload;
+    workload.setup(2);
+    MultiGpuSystem system(voltaPlatform().withGpuCount(2));
+    system.setFunctional(false);
+    ProactRuntime::Options options;
+    options.config.mechanism = TransferMechanism::Polling;
+    options.config.chunkBytes = 32 * KiB;
+    ProactRuntime runtime(system, options);
+    runtime.run(workload);
+    EXPECT_EQ(system.fabric().totalPayloadBytes(),
+              2ull * 1ull * TwoRegionWorkload::regionBBytes
+                  * TwoRegionWorkload::iterations);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit and property tests for the protocol packetization model
+ * (paper Figure 2).
+ */
+
+#include "interconnect/packet_model.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+TEST(PacketModel, PaperFigure2AnchorPoints)
+{
+    const PacketModel pcie = packetModelFor(Protocol::PCIe3);
+    const PacketModel nvlink = packetModelFor(Protocol::NVLink1);
+
+    // "transfer efficiency falls as low as 8% on NVLink and 14% on
+    // PCIe for 4-byte stores" (paper Sec. II-C).
+    EXPECT_NEAR(pcie.efficiency(4), 0.14, 0.01);
+    EXPECT_NEAR(nvlink.efficiency(4), 0.08, 0.005);
+
+    // "high efficiency for transfers with greater than 128 bytes".
+    EXPECT_GT(pcie.efficiency(256), 0.85);
+    EXPECT_GT(nvlink.efficiency(256), 0.85);
+}
+
+TEST(PacketModel, NvlinkGenerationsShareFraming)
+{
+    const PacketModel a = packetModelFor(Protocol::NVLink1);
+    const PacketModel b = packetModelFor(Protocol::NVLink2);
+    const PacketModel c = packetModelFor(Protocol::NVSwitch);
+    EXPECT_EQ(a.headerBytes, b.headerBytes);
+    EXPECT_EQ(b.headerBytes, c.headerBytes);
+    EXPECT_EQ(a.wordBytes, c.wordBytes);
+}
+
+TEST(PacketModel, PayloadPaddedToWord)
+{
+    const PacketModel nvlink = packetModelFor(Protocol::NVLink1);
+    // 1-byte payload pads to a full 16B flit plus 32B header.
+    EXPECT_EQ(nvlink.packetWireBytes(1), 48u);
+    EXPECT_EQ(nvlink.packetWireBytes(16), 48u);
+    EXPECT_EQ(nvlink.packetWireBytes(17), 64u);
+    EXPECT_EQ(nvlink.packetWireBytes(0), 0u);
+}
+
+TEST(PacketModel, WireBytesSplitsAtMaxPayload)
+{
+    const PacketModel nvlink = packetModelFor(Protocol::NVLink1);
+    // 512B at 256B granularity = 2 packets of 256+32.
+    EXPECT_EQ(nvlink.wireBytes(512, 256), 2 * 288u);
+    // Granularity above max payload clamps to max payload.
+    EXPECT_EQ(nvlink.wireBytes(512, 4096), 2 * 288u);
+}
+
+TEST(PacketModel, ShortTailPacket)
+{
+    const PacketModel pcie = packetModelFor(Protocol::PCIe3);
+    // 260B at 256B: one full packet (256+24) + one 4B packet (4+24).
+    EXPECT_EQ(pcie.wireBytes(260, 256), 280u + 28u);
+}
+
+TEST(PacketModel, ZeroPayloadZeroWire)
+{
+    const PacketModel pcie = packetModelFor(Protocol::PCIe3);
+    EXPECT_EQ(pcie.wireBytes(0, 256), 0u);
+}
+
+TEST(PacketModel, ZeroGranularityIsError)
+{
+    const PacketModel pcie = packetModelFor(Protocol::PCIe3);
+    EXPECT_THROW(pcie.wireBytes(100, 0), std::logic_error);
+    EXPECT_DOUBLE_EQ(pcie.efficiency(0), 0.0);
+}
+
+TEST(PacketModel, ProtocolNames)
+{
+    EXPECT_EQ(protocolName(Protocol::PCIe3), "PCIe3");
+    EXPECT_EQ(protocolName(Protocol::NVLink1), "NVLink");
+    EXPECT_EQ(protocolName(Protocol::NVLink2), "NVLink2");
+    EXPECT_EQ(protocolName(Protocol::NVSwitch), "NVSwitch");
+}
+
+/** Property sweep over protocols and granularities. */
+class PacketModelProperty
+    : public ::testing::TestWithParam<Protocol>
+{
+};
+
+TEST_P(PacketModelProperty, EfficiencyMonotoneUpToMaxPayload)
+{
+    const PacketModel m = packetModelFor(GetParam());
+    double prev = 0.0;
+    for (std::uint32_t s = m.wordBytes; s <= m.maxPayloadBytes;
+         s *= 2) {
+        const double e = m.efficiency(s);
+        EXPECT_GE(e, prev) << "granularity " << s;
+        EXPECT_GT(e, 0.0);
+        EXPECT_LT(e, 1.0);
+        prev = e;
+    }
+    // Beyond max payload the efficiency saturates.
+    EXPECT_DOUBLE_EQ(m.efficiency(m.maxPayloadBytes * 4), prev);
+}
+
+TEST_P(PacketModelProperty, WireAtLeastPayload)
+{
+    const PacketModel m = packetModelFor(GetParam());
+    for (std::uint64_t payload : {1ull, 100ull, 4096ull, 1000000ull}) {
+        for (std::uint32_t g : {1u, 4u, 64u, 256u}) {
+            EXPECT_GE(m.wireBytes(payload, g), payload);
+        }
+    }
+}
+
+TEST_P(PacketModelProperty, CoarserGranularityNeverCostsMoreWire)
+{
+    const PacketModel m = packetModelFor(GetParam());
+    const std::uint64_t payload = 1 << 20;
+    std::uint64_t prev_wire = ~std::uint64_t(0);
+    for (std::uint32_t g = 4; g <= m.maxPayloadBytes; g *= 2) {
+        const std::uint64_t wire = m.wireBytes(payload, g);
+        EXPECT_LE(wire, prev_wire) << "granularity " << g;
+        prev_wire = wire;
+    }
+}
+
+TEST_P(PacketModelProperty, EfficiencyConsistentWithWireBytes)
+{
+    const PacketModel m = packetModelFor(GetParam());
+    // For payloads that are exact multiples of the granularity,
+    // payload/wire == efficiency(granularity).
+    for (std::uint32_t g : {4u, 16u, 64u, 256u}) {
+        const std::uint64_t payload = std::uint64_t(g) * 1000;
+        const double ratio = static_cast<double>(payload)
+            / static_cast<double>(m.wireBytes(payload, g));
+        EXPECT_NEAR(ratio, m.efficiency(g), 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, PacketModelProperty,
+                         ::testing::Values(Protocol::PCIe3,
+                                           Protocol::NVLink1,
+                                           Protocol::NVLink2,
+                                           Protocol::NVSwitch),
+                         [](const auto &info) {
+                             return protocolName(info.param);
+                         });

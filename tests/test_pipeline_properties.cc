@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Parameterized end-to-end property sweeps: for every (platform,
+ * mechanism, GPU count) combination the PROACT pipeline must
+ * conserve bytes, complete deterministically, and respect the
+ * infinite-bandwidth bound.
+ */
+
+#include "harness/session.hh"
+#include "proact/runtime.hh"
+#include "tests/toy_workload.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace proact;
+using proact::test::ToyWorkload;
+
+namespace {
+
+struct PipelineCase
+{
+    const char *platform;
+    TransferMechanism mechanism;
+    int gpus;
+};
+
+PlatformSpec
+platformFor(const std::string &name, int gpus)
+{
+    PlatformSpec spec = voltaPlatform();
+    if (name == "kepler")
+        spec = keplerPlatform();
+    else if (name == "pascal")
+        spec = pascalPlatform();
+    else if (name == "dgx2")
+        spec = dgx2Platform();
+    return spec.withGpuCount(gpus);
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<PipelineCase> &info)
+{
+    std::ostringstream oss;
+    oss << info.param.platform << "_"
+        << mechanismName(info.param.mechanism) << "_"
+        << info.param.gpus << "gpu";
+    return oss.str();
+}
+
+} // namespace
+
+class PipelineProperty : public ::testing::TestWithParam<PipelineCase>
+{
+  protected:
+    static constexpr std::uint64_t partitionBytes = 512 * KiB;
+
+    ToyWorkload::Params
+    params() const
+    {
+        ToyWorkload::Params p;
+        p.partitionBytes = partitionBytes;
+        p.iterations = 2;
+        return p;
+    }
+
+    ProactRuntime::Options
+    options() const
+    {
+        ProactRuntime::Options o;
+        o.config.mechanism = GetParam().mechanism;
+        o.config.chunkBytes = 64 * KiB;
+        o.config.transferThreads = 1024;
+        return o;
+    }
+};
+
+TEST_P(PipelineProperty, ConservesBytesAcrossTheFabric)
+{
+    const auto param = GetParam();
+    ToyWorkload workload(params());
+    workload.setup(param.gpus);
+    MultiGpuSystem system(platformFor(param.platform, param.gpus));
+    system.setFunctional(false);
+    ProactRuntime runtime(system, options());
+    runtime.run(workload);
+
+    const std::uint64_t expected = param.gpus <= 1
+        ? 0
+        : static_cast<std::uint64_t>(param.gpus)
+            * (param.gpus - 1) * partitionBytes * 2;
+    EXPECT_EQ(system.fabric().totalPayloadBytes(), expected);
+    EXPECT_GE(system.fabric().totalWireBytes(), expected);
+}
+
+TEST_P(PipelineProperty, DeterministicAcrossRepeats)
+{
+    const auto param = GetParam();
+    auto run_once = [&] {
+        ToyWorkload workload(params());
+        workload.setup(param.gpus);
+        MultiGpuSystem system(
+            platformFor(param.platform, param.gpus));
+        system.setFunctional(false);
+        ProactRuntime runtime(system, options());
+        return runtime.run(workload);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(PipelineProperty, RespectsInfiniteBandwidthBound)
+{
+    const auto param = GetParam();
+    const PlatformSpec plat =
+        platformFor(param.platform, param.gpus);
+
+    ToyWorkload ideal_wl(params());
+    ideal_wl.setup(param.gpus);
+    MultiGpuSystem ideal_system(plat);
+    ideal_system.setFunctional(false);
+    const Tick ideal = makeRuntime(Paradigm::InfiniteBw, ideal_system)
+                           ->run(ideal_wl);
+
+    ToyWorkload workload(params());
+    workload.setup(param.gpus);
+    MultiGpuSystem system(plat);
+    system.setFunctional(false);
+    ProactRuntime runtime(system, options());
+    const Tick t = runtime.run(workload);
+
+    EXPECT_GE(t, ideal);
+}
+
+TEST_P(PipelineProperty, TailNeverExceedsRuntime)
+{
+    const auto param = GetParam();
+    ToyWorkload workload(params());
+    workload.setup(param.gpus);
+    MultiGpuSystem system(platformFor(param.platform, param.gpus));
+    system.setFunctional(false);
+    ProactRuntime runtime(system, options());
+    const Tick t = runtime.run(workload);
+    EXPECT_LE(runtime.tailTicks(), t);
+}
+
+TEST_P(PipelineProperty, StatsDumpIsWellFormed)
+{
+    const auto param = GetParam();
+    ToyWorkload workload(params());
+    workload.setup(param.gpus);
+    MultiGpuSystem system(platformFor(param.platform, param.gpus));
+    system.setFunctional(false);
+    ProactRuntime runtime(system, options());
+    runtime.run(workload);
+
+    std::ostringstream oss;
+    system.dumpStats(oss);
+    const std::string dump = oss.str();
+    EXPECT_NE(dump.find("gpu0:"), std::string::npos);
+    EXPECT_NE(dump.find("fabric:"), std::string::npos);
+    EXPECT_NE(dump.find("kernels"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Values(
+        PipelineCase{"kepler", TransferMechanism::Cdp, 4},
+        PipelineCase{"kepler", TransferMechanism::Polling, 2},
+        PipelineCase{"pascal", TransferMechanism::Polling, 4},
+        PipelineCase{"pascal", TransferMechanism::Hardware, 3},
+        PipelineCase{"volta", TransferMechanism::Polling, 4},
+        PipelineCase{"volta", TransferMechanism::Cdp, 4},
+        PipelineCase{"volta", TransferMechanism::Inline, 4},
+        PipelineCase{"volta", TransferMechanism::Hardware, 1},
+        PipelineCase{"dgx2", TransferMechanism::Polling, 16},
+        PipelineCase{"dgx2", TransferMechanism::Cdp, 8},
+        PipelineCase{"dgx2", TransferMechanism::Inline, 12}),
+    caseName);

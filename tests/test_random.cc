@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include "sim/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace proact;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of 10k uniforms is within ~4 sigma of 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.between(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == ~std::uint64_t(0));
+    Rng rng(1);
+    (void)rng();
+}

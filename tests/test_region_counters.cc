@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit and property tests for readiness counters, region tracking
+ * and the block-to-address mappings (paper Sec. III-B, Listing 1).
+ */
+
+#include "proact/region.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+TEST(CounterArray, ExpectAndDecrement)
+{
+    CounterArray counters(3);
+    counters.expectWriter(0);
+    counters.expectWriter(0);
+    counters.expectWriter(1);
+
+    EXPECT_EQ(counters.expected(0), 2);
+    EXPECT_EQ(counters.remaining(0), 2);
+    // Chunk 2 has no writers: born ready.
+    EXPECT_TRUE(counters.ready(2));
+    EXPECT_EQ(counters.readyChunks(), 1);
+
+    EXPECT_FALSE(counters.decrement(0));
+    EXPECT_TRUE(counters.decrement(0));
+    EXPECT_TRUE(counters.ready(0));
+    EXPECT_TRUE(counters.decrement(1));
+    EXPECT_TRUE(counters.allReady());
+    EXPECT_EQ(counters.totalDecrements(), 3u);
+}
+
+TEST(CounterArray, DecrementBelowZeroPanics)
+{
+    CounterArray counters(1);
+    counters.expectWriter(0);
+    counters.decrement(0);
+    EXPECT_THROW(counters.decrement(0), PanicError);
+}
+
+TEST(CounterArray, ExpectAfterDecrementPanics)
+{
+    CounterArray counters(1);
+    counters.expectWriter(0);
+    counters.decrement(0);
+    EXPECT_THROW(counters.expectWriter(0), PanicError);
+}
+
+TEST(CounterArray, RearmRestoresExpected)
+{
+    CounterArray counters(2);
+    counters.expectWriter(0);
+    counters.expectWriter(1);
+    counters.decrement(0);
+    counters.decrement(1);
+    EXPECT_TRUE(counters.allReady());
+    counters.rearm();
+    EXPECT_FALSE(counters.allReady());
+    EXPECT_EQ(counters.remaining(0), 1);
+    EXPECT_EQ(counters.totalExpected(), 2u);
+}
+
+TEST(CounterArray, BoundsChecked)
+{
+    CounterArray counters(2);
+    EXPECT_THROW(counters.expectWriter(2), PanicError);
+    EXPECT_THROW(counters.remaining(-1), PanicError);
+    EXPECT_THROW(CounterArray(0), FatalError);
+}
+
+TEST(RegionTracker, ChunkGeometry)
+{
+    RegionTracker tracker(10000, 4096);
+    EXPECT_EQ(tracker.numChunks(), 3);
+    EXPECT_EQ(tracker.chunkSize(0), 4096u);
+    EXPECT_EQ(tracker.chunkSize(1), 4096u);
+    EXPECT_EQ(tracker.chunkSize(2), 10000u - 8192u);
+}
+
+TEST(RegionTracker, ChunkBytesClampedToPartition)
+{
+    RegionTracker tracker(1000, 1 << 20);
+    EXPECT_EQ(tracker.numChunks(), 1);
+    EXPECT_EQ(tracker.chunkSize(0), 1000u);
+}
+
+TEST(RegionTracker, ChunkSpan)
+{
+    RegionTracker tracker(16384, 4096);
+    auto [first, last] = tracker.chunkSpan({0, 4096});
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(last, 0);
+    std::tie(first, last) = tracker.chunkSpan({4000, 8200});
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(last, 2);
+    std::tie(first, last) = tracker.chunkSpan({100, 100});
+    EXPECT_GT(first, last); // Empty range.
+    EXPECT_THROW(tracker.chunkSpan({0, 999999}), PanicError);
+}
+
+TEST(RegionTracker, CountersMatchFootprintsAndFireOnce)
+{
+    const std::uint64_t partition = 64 * 1024;
+    const int num_ctas = 16;
+    RegionTracker tracker(partition, 16 * 1024);
+    auto range = mappings::contiguous(partition, num_ctas);
+    tracker.initCounters(num_ctas, range);
+
+    // 4 CTAs per chunk.
+    for (int c = 0; c < tracker.numChunks(); ++c)
+        EXPECT_EQ(tracker.counters().expected(c), 4);
+
+    std::vector<int> ready;
+    int decrements = 0;
+    for (int cta = 0; cta < num_ctas; ++cta)
+        decrements += tracker.ctaArrived(range(cta), ready);
+    EXPECT_TRUE(tracker.allReady());
+    EXPECT_EQ(decrements, num_ctas);
+    // Each chunk became ready exactly once.
+    std::sort(ready.begin(), ready.end());
+    EXPECT_EQ(ready, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(RegionTracker, ZeroChunkSizeRejected)
+{
+    EXPECT_THROW(RegionTracker(1000, 0), FatalError);
+}
+
+TEST(Mappings, ContiguousTilesExactly)
+{
+    const std::uint64_t partition = 1000;
+    const int num_ctas = 7;
+    auto range = mappings::contiguous(partition, num_ctas);
+    std::uint64_t covered = 0;
+    std::uint64_t prev_hi = 0;
+    for (int cta = 0; cta < num_ctas; ++cta) {
+        const ByteRange r = range(cta);
+        EXPECT_EQ(r.lo, prev_hi);
+        prev_hi = r.hi;
+        covered += r.size();
+    }
+    EXPECT_EQ(prev_hi, partition);
+    EXPECT_EQ(covered, partition);
+}
+
+TEST(Mappings, StridedSpansWholePartition)
+{
+    auto range = mappings::strided(4096, 4);
+    for (int cta = 0; cta < 4; ++cta) {
+        EXPECT_EQ(range(cta).lo, 0u);
+        EXPECT_EQ(range(cta).hi, 4096u);
+    }
+}
+
+TEST(Mappings, StencilAddsHalo)
+{
+    auto range = mappings::stencil(4000, 4, 100);
+    // Interior CTA: halo on both sides.
+    const ByteRange mid = range(1);
+    EXPECT_EQ(mid.lo, 1000u - 100u);
+    EXPECT_EQ(mid.hi, 2000u + 100u);
+    // Border CTAs clamp.
+    EXPECT_EQ(range(0).lo, 0u);
+    EXPECT_EQ(range(3).hi, 4000u);
+}
+
+TEST(Mappings, InvalidCtaCountRejected)
+{
+    EXPECT_THROW(mappings::contiguous(100, 0), FatalError);
+    EXPECT_THROW(mappings::strided(100, -1), FatalError);
+    EXPECT_THROW(mappings::stencil(100, 0, 10), FatalError);
+}
+
+/**
+ * Property: for any (partition, chunk, CTAs) combination, after all
+ * CTAs arrive every chunk is ready, total decrements equal the
+ * counters' expected total, and each chunk fires exactly once.
+ */
+struct TrackerCase
+{
+    std::uint64_t partition;
+    std::uint64_t chunk;
+    int ctas;
+};
+
+class RegionTrackerProperty
+    : public ::testing::TestWithParam<TrackerCase>
+{
+};
+
+TEST_P(RegionTrackerProperty, ExactReadinessAccounting)
+{
+    const auto param = GetParam();
+    RegionTracker tracker(param.partition, param.chunk);
+    auto range = mappings::contiguous(param.partition, param.ctas);
+    tracker.initCounters(param.ctas, range);
+
+    const std::uint64_t expected_total =
+        tracker.decrementsPerIteration();
+
+    std::vector<int> ready;
+    std::uint64_t decrements = 0;
+    for (int cta = 0; cta < param.ctas; ++cta) {
+        decrements += static_cast<std::uint64_t>(
+            tracker.ctaArrived(range(cta), ready));
+    }
+
+    EXPECT_TRUE(tracker.allReady());
+    EXPECT_EQ(decrements, expected_total);
+    std::sort(ready.begin(), ready.end());
+    ready.erase(std::unique(ready.begin(), ready.end()), ready.end());
+    EXPECT_EQ(static_cast<int>(ready.size()), tracker.numChunks());
+
+    // Rearm supports the next iteration identically.
+    tracker.rearm();
+    EXPECT_FALSE(tracker.allReady());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegionTrackerProperty,
+    ::testing::Values(TrackerCase{4096, 4096, 1},
+                      TrackerCase{4096, 512, 4},
+                      TrackerCase{10000, 3000, 7},
+                      TrackerCase{1 << 20, 4096, 64},
+                      TrackerCase{999983, 8192, 13},
+                      TrackerCase{64, 4096, 5},
+                      TrackerCase{1 << 22, 1 << 16, 640}));

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the PROACT runtime (inline and decoupled paths).
+ */
+
+#include "proact/runtime.hh"
+#include "tests/toy_workload.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+using proact::test::ToyWorkload;
+
+namespace {
+
+ProactRuntime::Options
+decoupledOptions(TransferMechanism mech = TransferMechanism::Polling,
+                 std::uint64_t chunk = 64 * KiB,
+                 std::uint32_t threads = 2048)
+{
+    ProactRuntime::Options options;
+    options.config.mechanism = mech;
+    options.config.chunkBytes = chunk;
+    options.config.transferThreads = threads;
+    return options;
+}
+
+} // namespace
+
+TEST(ProactRuntime, RejectsMismatchedGpuCount)
+{
+    ToyWorkload workload;
+    workload.setup(2);
+    MultiGpuSystem system(voltaPlatform()); // 4 GPUs.
+    ProactRuntime runtime(system, decoupledOptions());
+    EXPECT_THROW(runtime.run(workload), FatalError);
+}
+
+TEST(ProactRuntime, RejectsZeroChunk)
+{
+    MultiGpuSystem system(voltaPlatform());
+    auto options = decoupledOptions();
+    options.config.chunkBytes = 0;
+    EXPECT_THROW(ProactRuntime(system, options), FatalError);
+}
+
+TEST(ProactRuntime, DecoupledRunsAndVerifies)
+{
+    for (const auto mech :
+         {TransferMechanism::Polling, TransferMechanism::Cdp,
+          TransferMechanism::Hardware}) {
+        ToyWorkload workload;
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        ProactRuntime runtime(system, decoupledOptions(mech));
+        const Tick ticks = runtime.run(workload);
+        EXPECT_GT(ticks, 0u) << mechanismName(mech);
+        EXPECT_TRUE(workload.verify()) << mechanismName(mech);
+    }
+}
+
+TEST(ProactRuntime, InlineRunsAndVerifies)
+{
+    ToyWorkload workload;
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    ProactRuntime::Options options;
+    options.config.mechanism = TransferMechanism::Inline;
+    ProactRuntime runtime(system, options);
+    EXPECT_GT(runtime.run(workload), 0u);
+    EXPECT_TRUE(workload.verify());
+}
+
+TEST(ProactRuntime, AllPayloadReachesAllPeers)
+{
+    ToyWorkload::Params params;
+    params.iterations = 2;
+    ToyWorkload workload(params);
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    ProactRuntime runtime(system, decoupledOptions());
+    runtime.run(workload);
+
+    // 4 GPUs x 3 peers x partition x 2 iterations.
+    const std::uint64_t expected =
+        4ull * 3ull * params.partitionBytes * 2ull;
+    EXPECT_EQ(system.fabric().totalPayloadBytes(), expected);
+    EXPECT_DOUBLE_EQ(runtime.stats().get("delivered_bytes"),
+                     static_cast<double>(expected));
+}
+
+TEST(ProactRuntime, SingleGpuSkipsFabric)
+{
+    ToyWorkload workload;
+    workload.setup(1);
+    MultiGpuSystem system(voltaPlatform().withGpuCount(1));
+    ProactRuntime runtime(system, decoupledOptions());
+    EXPECT_GT(runtime.run(workload), 0u);
+    EXPECT_EQ(system.fabric().totalPayloadBytes(), 0u);
+    EXPECT_TRUE(workload.verify());
+}
+
+TEST(ProactRuntime, MaxIterationsLimitsRun)
+{
+    ToyWorkload::Params params;
+    params.iterations = 5;
+    ToyWorkload workload(params);
+    workload.setup(2);
+    MultiGpuSystem system(voltaPlatform().withGpuCount(2));
+    auto options = decoupledOptions();
+    options.maxIterations = 2;
+    ProactRuntime runtime(system, options);
+    runtime.run(workload);
+    EXPECT_DOUBLE_EQ(runtime.stats().get("iterations"), 2.0);
+}
+
+TEST(ProactRuntime, ElideTransfersMovesNoBytes)
+{
+    ToyWorkload workload;
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    auto options = decoupledOptions();
+    options.elideTransfers = true;
+    ProactRuntime runtime(system, options);
+    EXPECT_GT(runtime.run(workload), 0u);
+    EXPECT_EQ(system.fabric().totalPayloadBytes(), 0u);
+    // Tracking still ran.
+    EXPECT_GT(runtime.stats().get("counter_decrements"), 0.0);
+}
+
+TEST(ProactRuntime, ElidedRunIsFasterOrEqual)
+{
+    auto run = [](bool elide) {
+        ToyWorkload::Params params;
+        params.partitionBytes = 4 * MiB; // Make transfers matter.
+        ToyWorkload workload(params);
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        auto options = decoupledOptions();
+        options.elideTransfers = elide;
+        ProactRuntime runtime(system, options);
+        return runtime.run(workload);
+    };
+    EXPECT_LE(run(true), run(false));
+}
+
+TEST(ProactRuntime, TimingIndependentOfFunctionalMode)
+{
+    auto run = [](bool functional) {
+        ToyWorkload workload;
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        system.setFunctional(functional);
+        ProactRuntime runtime(system, decoupledOptions());
+        return runtime.run(workload);
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST(ProactRuntime, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        ToyWorkload workload;
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        ProactRuntime runtime(system, decoupledOptions());
+        return runtime.run(workload);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(ProactRuntime, HardwareAgentBeatsSoftware)
+{
+    auto run = [](TransferMechanism mech) {
+        ToyWorkload::Params params;
+        params.partitionBytes = 4 * MiB;
+        ToyWorkload workload(params);
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        ProactRuntime runtime(system, decoupledOptions(mech));
+        return runtime.run(workload);
+    };
+    const Tick hw = run(TransferMechanism::Hardware);
+    EXPECT_LE(hw, run(TransferMechanism::Polling));
+    EXPECT_LE(hw, run(TransferMechanism::Cdp));
+}
+
+TEST(ProactRuntime, FootprintScaleScalesTime)
+{
+    auto run = [](std::uint64_t scale) {
+        ToyWorkload::Params params;
+        params.partitionBytes = 1 * MiB;
+        params.ctaLocalBytes = 512 * KiB; // Work >> fixed overheads.
+        ToyWorkload workload(params);
+        workload.setFootprintScale(scale);
+        workload.setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        ProactRuntime runtime(system, decoupledOptions());
+        return runtime.run(workload);
+    };
+    const Tick base = run(1);
+    const Tick scaled = run(8);
+    // Time grows roughly with the footprint scale (fixed launch and
+    // polling overheads keep it somewhat below 8x).
+    EXPECT_GT(scaled, 5 * base);
+    EXPECT_LT(scaled, 9 * base);
+}
+
+TEST(ProactRuntime, NamesDescribeConfiguration)
+{
+    MultiGpuSystem system(voltaPlatform());
+    ProactRuntime::Options inline_opts;
+    inline_opts.config.mechanism = TransferMechanism::Inline;
+    EXPECT_EQ(ProactRuntime(system, inline_opts).name(),
+              "PROACT-inline");
+    ProactRuntime decoupled(system, decoupledOptions());
+    EXPECT_NE(decoupled.name().find("PROACT-decoupled"),
+              std::string::npos);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Runtime behaviour with overlapping (stencil/halo) CTA footprints:
+ * counters must account for multiple writers per chunk, chunks must
+ * still fire exactly once, and all bytes must reach all peers.
+ */
+
+#include "proact/region.hh"
+#include "proact/runtime.hh"
+#include "system/multi_gpu_system.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+namespace {
+
+/** Workload whose CTA footprints overlap by a halo on both sides. */
+class StencilWorkload : public Workload
+{
+  public:
+    static constexpr std::uint64_t partitionBytes = 256 * KiB;
+    static constexpr std::uint64_t haloBytes = 4 * KiB;
+    static constexpr int ctasPerGpu = 16;
+
+    std::string name() const override { return "Stencil"; }
+    void setup(int num_gpus) override { _numGpus = num_gpus; }
+    int numIterations() const override { return 2; }
+
+    TrafficProfile
+    traffic() const override
+    {
+        return TrafficProfile{256, true};
+    }
+
+    bool verify() const override { return true; }
+
+  protected:
+    Phase
+    buildPhase(int) override
+    {
+        Phase p;
+        p.perGpu.resize(_numGpus);
+        for (int g = 0; g < _numGpus; ++g) {
+            GpuPhaseWork &work = p.perGpu[g];
+            work.kernel.name = "stencil";
+            work.kernel.numCtas = ctasPerGpu;
+            work.kernel.body = [](const CtaContext &) {
+                CtaWork w;
+                w.localBytes = 64 * KiB;
+                return w;
+            };
+            work.bytesProduced = partitionBytes;
+            work.ctaRange = mappings::stencil(partitionBytes,
+                                              ctasPerGpu, haloBytes);
+        }
+        return p;
+    }
+};
+
+} // namespace
+
+TEST(StencilRuntime, InteriorChunksHaveMultipleWriters)
+{
+    RegionTracker tracker(StencilWorkload::partitionBytes, 16 * KiB);
+    tracker.initCounters(
+        StencilWorkload::ctasPerGpu,
+        mappings::stencil(StencilWorkload::partitionBytes,
+                          StencilWorkload::ctasPerGpu,
+                          StencilWorkload::haloBytes));
+    // Each 16 kB slice is written by its owner CTA plus the halo of
+    // at least one neighbour.
+    int multi_writer = 0;
+    for (int c = 0; c < tracker.numChunks(); ++c) {
+        if (tracker.counters().expected(c) > 1)
+            ++multi_writer;
+    }
+    EXPECT_GT(multi_writer, 0);
+}
+
+TEST(StencilRuntime, DecoupledDeliversEverythingOnce)
+{
+    StencilWorkload workload;
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    system.setFunctional(false);
+
+    ProactRuntime::Options options;
+    options.config.mechanism = TransferMechanism::Polling;
+    options.config.chunkBytes = 16 * KiB;
+    options.config.transferThreads = 2048;
+    ProactRuntime runtime(system, options);
+    runtime.run(workload);
+
+    // Chunk payload is delivered once per (chunk, peer) even though
+    // chunks have several writers.
+    EXPECT_EQ(system.fabric().totalPayloadBytes(),
+              4ull * 3ull * StencilWorkload::partitionBytes * 2ull);
+
+    // Decrements exceed CTA count: halo writers decrement their
+    // neighbours' chunks too.
+    EXPECT_GT(runtime.stats().get("counter_decrements"),
+              4.0 * StencilWorkload::ctasPerGpu * 2.0);
+}
+
+TEST(StencilRuntime, AllMechanismsAgreeOnPayload)
+{
+    std::uint64_t payload[3];
+    int i = 0;
+    for (const auto mech :
+         {TransferMechanism::Polling, TransferMechanism::Cdp,
+          TransferMechanism::Hardware}) {
+        StencilWorkload workload;
+        workload.setup(2);
+        MultiGpuSystem system(voltaPlatform().withGpuCount(2));
+        system.setFunctional(false);
+        ProactRuntime::Options options;
+        options.config.mechanism = mech;
+        options.config.chunkBytes = 32 * KiB;
+        ProactRuntime runtime(system, options);
+        runtime.run(workload);
+        payload[i++] = system.fabric().totalPayloadBytes();
+    }
+    EXPECT_EQ(payload[0], payload[1]);
+    EXPECT_EQ(payload[1], payload[2]);
+}

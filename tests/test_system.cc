@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for platform presets, the host model and system wiring.
+ */
+
+#include "system/multi_gpu_system.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+TEST(Platform, TableOnePresets)
+{
+    const PlatformSpec kepler = keplerPlatform();
+    EXPECT_EQ(kepler.numGpus, 4);
+    EXPECT_EQ(kepler.gpu.arch, GpuArch::Kepler);
+    EXPECT_EQ(kepler.fabric.protocol, Protocol::PCIe3);
+
+    const PlatformSpec pascal = pascalPlatform();
+    EXPECT_EQ(pascal.fabric.protocol, Protocol::NVLink1);
+
+    const PlatformSpec volta = voltaPlatform();
+    EXPECT_EQ(volta.fabric.protocol, Protocol::NVLink2);
+    EXPECT_EQ(volta.gpu.memCapacity, 16 * GiB);
+
+    const PlatformSpec dgx2 = dgx2Platform();
+    EXPECT_EQ(dgx2.numGpus, 16);
+    EXPECT_EQ(dgx2.fabric.protocol, Protocol::NVSwitch);
+    EXPECT_EQ(dgx2.gpu.memCapacity, 32 * GiB);
+}
+
+TEST(Platform, PlatformLists)
+{
+    EXPECT_EQ(quadPlatforms().size(), 3u);
+    EXPECT_EQ(allPlatforms().size(), 4u);
+}
+
+TEST(Platform, WithGpuCount)
+{
+    const PlatformSpec p = dgx2Platform().withGpuCount(8);
+    EXPECT_EQ(p.numGpus, 8);
+    EXPECT_EQ(p.name, "8x Volta");
+    EXPECT_EQ(p.gpu.name, dgx2Platform().gpu.name);
+}
+
+TEST(Host, SerializesApiCalls)
+{
+    EventQueue eq;
+    Host host(eq, 2 * ticksPerMicrosecond);
+    const Tick t1 = host.issue();
+    const Tick t2 = host.issue();
+    const Tick t3 = host.issue(10 * ticksPerMicrosecond);
+    EXPECT_EQ(t1, 2 * ticksPerMicrosecond);
+    EXPECT_EQ(t2, 4 * ticksPerMicrosecond);
+    EXPECT_EQ(t3, 16 * ticksPerMicrosecond);
+}
+
+TEST(Host, CatchesUpWithSimulatedTime)
+{
+    EventQueue eq;
+    Host host(eq);
+    host.issue();
+    eq.schedule(1000 * ticksPerMicrosecond, [] {});
+    eq.run();
+    const Tick t = host.issue();
+    EXPECT_GE(t, 1000 * ticksPerMicrosecond);
+}
+
+TEST(MultiGpuSystem, WiresComponentsPerPlatform)
+{
+    MultiGpuSystem system(voltaPlatform());
+    EXPECT_EQ(system.numGpus(), 4);
+    for (int g = 0; g < 4; ++g) {
+        EXPECT_EQ(system.gpu(g).id(), g);
+        EXPECT_EQ(system.gpu(g).spec().arch, GpuArch::Volta);
+    }
+    EXPECT_EQ(system.fabric().numGpus(), 4);
+    EXPECT_EQ(system.fabric().spec().protocol, Protocol::NVLink2);
+    EXPECT_THROW(system.gpu(4), std::out_of_range);
+}
+
+TEST(MultiGpuSystem, RejectsEmptySystem)
+{
+    EXPECT_THROW(MultiGpuSystem(voltaPlatform().withGpuCount(0)),
+                 FatalError);
+}
+
+TEST(MultiGpuSystem, SetFunctionalReachesAllGpus)
+{
+    MultiGpuSystem system(voltaPlatform());
+    system.setFunctional(false);
+    for (int g = 0; g < 4; ++g)
+        EXPECT_FALSE(system.gpu(g).functional());
+    system.setFunctional(true);
+    for (int g = 0; g < 4; ++g)
+        EXPECT_TRUE(system.gpu(g).functional());
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the span tracer and its system wiring.
+ */
+
+#include "baselines/runner.hh"
+#include "proact/runtime.hh"
+#include "sim/trace.hh"
+#include "tests/toy_workload.hh"
+
+#include "sim/logging.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace proact;
+using proact::test::ToyWorkload;
+
+TEST(Trace, RecordsAndFilters)
+{
+    Trace trace;
+    EXPECT_TRUE(trace.empty());
+    trace.record(0, 10, "kernel", "a");
+    trace.record(5, 20, "transfer", "b");
+    trace.record(12, 15, "kernel", "c");
+
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.horizon(), 20u);
+    EXPECT_EQ(trace.byCategory("kernel").size(), 2u);
+    EXPECT_EQ(trace.byCategory("transfer").size(), 1u);
+    EXPECT_EQ(trace.byCategory("nothing").size(), 0u);
+
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.horizon(), 0u);
+}
+
+TEST(Trace, CsvDump)
+{
+    Trace trace;
+    trace.record(100, 200, "kernel", "gpu0.foo");
+    std::ostringstream oss;
+    trace.dumpCsv(oss);
+    EXPECT_EQ(oss.str(),
+              "start_ps,end_ps,category,label\n"
+              "100,200,kernel,gpu0.foo\n");
+}
+
+TEST(Trace, TimelineRendersRowsPerLabel)
+{
+    Trace trace;
+    trace.record(0, 50, "kernel", "k");
+    trace.record(50, 100, "transfer", "t");
+    std::ostringstream oss;
+    trace.renderTimeline(oss, 20);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("k  "), std::string::npos);
+    EXPECT_NE(out.find("t  "), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Trace, EmptyTimelineIsSafe)
+{
+    Trace trace;
+    std::ostringstream oss;
+    trace.renderTimeline(oss);
+    EXPECT_EQ(oss.str(), "(empty trace)\n");
+}
+
+TEST(Trace, SystemWiringCapturesKernelsAndTransfers)
+{
+    ToyWorkload workload;
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    system.setFunctional(false);
+    Trace trace;
+    system.setTrace(&trace);
+
+    BulkMemcpyRuntime runtime(system);
+    runtime.run(workload);
+
+    // 4 GPUs x 3 iterations of kernels, plus 12 copies x 3 iters.
+    EXPECT_EQ(trace.byCategory("kernel").size(), 12u);
+    EXPECT_EQ(trace.byCategory("transfer").size(), 36u);
+    for (const auto &span : trace.spans())
+        EXPECT_LE(span.start, span.end);
+
+    // Detaching stops recording.
+    system.setTrace(nullptr);
+    const std::size_t before = trace.size();
+    ToyWorkload again;
+    again.setup(4);
+    BulkMemcpyRuntime runtime2(system);
+    runtime2.run(again);
+    EXPECT_EQ(trace.size(), before);
+}
+
+TEST(Trace, BulkTransfersDoNotOverlapProducerKernels)
+{
+    // The defining property of the bulk-synchronous paradigm,
+    // verified from the trace: every transfer starts after every
+    // same-iteration kernel ends.
+    ToyWorkload::Params params;
+    params.iterations = 1;
+    ToyWorkload workload(params);
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    system.setFunctional(false);
+    Trace trace;
+    system.setTrace(&trace);
+    BulkMemcpyRuntime runtime(system);
+    runtime.run(workload);
+
+    Tick last_kernel_end = 0;
+    for (const auto &span : trace.byCategory("kernel"))
+        last_kernel_end = std::max(last_kernel_end, span.end);
+    for (const auto &span : trace.byCategory("transfer"))
+        EXPECT_GE(span.start, last_kernel_end);
+}
+
+TEST(Trace, ProactTransfersOverlapProducerKernels)
+{
+    ToyWorkload::Params params;
+    params.iterations = 1;
+    params.partitionBytes = 4 * MiB;
+    ToyWorkload workload(params);
+    workload.setup(4);
+    MultiGpuSystem system(voltaPlatform());
+    system.setFunctional(false);
+    Trace trace;
+    system.setTrace(&trace);
+
+    ProactRuntime::Options options;
+    options.config.mechanism = TransferMechanism::Polling;
+    options.config.chunkBytes = 64 * KiB;
+    options.config.transferThreads = 2048;
+    ProactRuntime runtime(system, options);
+    runtime.run(workload);
+
+    Tick last_kernel_end = 0;
+    for (const auto &span : trace.byCategory("kernel"))
+        last_kernel_end = std::max(last_kernel_end, span.end);
+    int overlapped = 0;
+    for (const auto &span : trace.byCategory("transfer")) {
+        if (span.start < last_kernel_end)
+            ++overlapped;
+    }
+    EXPECT_GT(overlapped, 0);
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for time/unit conversion helpers.
+ */
+
+#include "sim/types.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+
+TEST(Types, TickConstantsAreConsistent)
+{
+    EXPECT_EQ(ticksPerNanosecond, 1000u);
+    EXPECT_EQ(ticksPerMicrosecond, 1000u * 1000u);
+    EXPECT_EQ(ticksPerSecond, 1000000000000ull);
+    EXPECT_EQ(MiB, 1024u * KiB);
+    EXPECT_EQ(GiB, 1024u * MiB);
+}
+
+TEST(Types, SecondsRoundTrip)
+{
+    EXPECT_EQ(ticksFromSeconds(1.0), ticksPerSecond);
+    EXPECT_EQ(ticksFromSeconds(0.0), 0u);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(ticksPerSecond), 1.0);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(ticksPerMicrosecond), 1e-6);
+    // Round-trip within a tick.
+    const double t = 3.14159e-3;
+    EXPECT_NEAR(secondsFromTicks(ticksFromSeconds(t)), t, 1e-12);
+}
+
+TEST(Types, TransferTicksMatchesRate)
+{
+    // 1 GB at 1 GB/s = 1 second.
+    EXPECT_EQ(transferTicks(1000000000, 1.0e9), ticksPerSecond);
+    // 300 bytes at 300 GB/s = 1 ns.
+    EXPECT_EQ(transferTicks(300, 300.0e9), ticksPerNanosecond);
+}
+
+TEST(Types, TransferTicksEdgeCases)
+{
+    EXPECT_EQ(transferTicks(0, 1e9), 0u);
+    EXPECT_EQ(transferTicks(100, 0.0), 0u);
+    EXPECT_EQ(transferTicks(100, -5.0), 0u);
+    // Non-zero payloads always make forward progress.
+    EXPECT_GE(transferTicks(1, 1e18), 1u);
+}
+
+TEST(Types, BytesPerSecondInverse)
+{
+    const Tick ticks = transferTicks(1 << 20, 150.0e9);
+    EXPECT_NEAR(bytesPerSecond(1 << 20, ticks), 150.0e9, 0.01e9);
+    EXPECT_DOUBLE_EQ(bytesPerSecond(100, 0), 0.0);
+}
+
+TEST(Types, SubNanosecondTransfersRepresentable)
+{
+    // A single 288B NVLink2 packet at 150 GB/s takes ~1.9 ns; the
+    // picosecond tick resolves it without collapsing to zero.
+    const Tick t = transferTicks(288, 150.0e9);
+    EXPECT_GT(t, ticksPerNanosecond);
+    EXPECT_LT(t, 3 * ticksPerNanosecond);
+}

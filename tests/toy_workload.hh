@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Minimal configurable workload for runtime/profiler/baseline tests.
+ *
+ * Each GPU produces a fixed-size partition per iteration with a
+ * contiguous CTA mapping; the functional body writes a recognizable
+ * pattern into a shared array so tests can assert that every
+ * paradigm executes the same computation.
+ */
+
+#ifndef PROACT_TESTS_TOY_WORKLOAD_HH
+#define PROACT_TESTS_TOY_WORKLOAD_HH
+
+#include "proact/region.hh"
+#include "workloads/workload.hh"
+
+#include <cstdint>
+#include <vector>
+
+namespace proact::test {
+
+class ToyWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t partitionBytes = 256 * KiB;
+        int ctasPerGpu = 32;
+        int iterations = 3;
+        double ctaFlops = 1.0e5;
+        std::uint64_t ctaLocalBytes = 64 * KiB;
+        std::uint32_t inlineStoreBytes = 256;
+        bool sequential = true;
+    };
+
+    ToyWorkload() : ToyWorkload(Params{}) {}
+    explicit ToyWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "Toy"; }
+
+    void
+    setup(int num_gpus) override
+    {
+        _numGpus = num_gpus;
+        _data.assign(
+            num_gpus * _params.partitionBytes / sizeof(double), 0.0);
+        _ctaRuns = 0;
+    }
+
+    int numIterations() const override { return _params.iterations; }
+
+    TrafficProfile
+    traffic() const override
+    {
+        return TrafficProfile{_params.inlineStoreBytes,
+                              _params.sequential};
+    }
+
+    bool
+    verify() const override
+    {
+        // After the run every element holds the last iteration's id.
+        const double expect = _params.iterations;
+        for (const double v : _data) {
+            if (v != expect)
+                return false;
+        }
+        return true;
+    }
+
+    /** Total CTA body invocations observed (functional or not). */
+    long ctaRuns() const { return _ctaRuns; }
+
+  protected:
+    Phase
+    buildPhase(int iter) override
+    {
+        Phase p;
+        p.perGpu.resize(_numGpus);
+        const std::uint64_t doubles_per_gpu =
+            _params.partitionBytes / sizeof(double);
+
+        for (int g = 0; g < _numGpus; ++g) {
+            GpuPhaseWork &work = p.perGpu[g];
+            work.kernel.name = "toy";
+            work.kernel.numCtas = _params.ctasPerGpu;
+            work.kernel.body = [this, g, iter,
+                                doubles_per_gpu](const CtaContext &ctx) {
+                ++_ctaRuns;
+                if (ctx.functional) {
+                    const std::uint64_t lo = g * doubles_per_gpu
+                        + doubles_per_gpu * ctx.ctaId / ctx.numCtas;
+                    const std::uint64_t hi = g * doubles_per_gpu
+                        + doubles_per_gpu * (ctx.ctaId + 1)
+                            / ctx.numCtas;
+                    for (std::uint64_t i = lo; i < hi; ++i)
+                        _data[i] = iter + 1;
+                }
+                CtaWork w;
+                w.flops = _params.ctaFlops;
+                w.localBytes = _params.ctaLocalBytes;
+                return w;
+            };
+            work.bytesProduced = _params.partitionBytes;
+            work.ctaRange = mappings::contiguous(
+                _params.partitionBytes, _params.ctasPerGpu);
+        }
+        return p;
+    }
+
+  private:
+    Params _params;
+    std::vector<double> _data;
+    long _ctaRuns = 0;
+};
+
+} // namespace proact::test
+
+#endif // PROACT_TESTS_TOY_WORKLOAD_HH
