@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_goodput"
+  "../bench/ablation_goodput.pdb"
+  "CMakeFiles/ablation_goodput.dir/ablation_goodput.cc.o"
+  "CMakeFiles/ablation_goodput.dir/ablation_goodput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hw_agent"
+  "../bench/ablation_hw_agent.pdb"
+  "CMakeFiles/ablation_hw_agent.dir/ablation_hw_agent.cc.o"
+  "CMakeFiles/ablation_hw_agent.dir/ablation_hw_agent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hw_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

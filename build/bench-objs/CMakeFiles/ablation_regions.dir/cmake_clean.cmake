@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regions"
+  "../bench/ablation_regions.pdb"
+  "CMakeFiles/ablation_regions.dir/ablation_regions.cc.o"
+  "CMakeFiles/ablation_regions.dir/ablation_regions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

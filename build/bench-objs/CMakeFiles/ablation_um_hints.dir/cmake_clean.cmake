@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_um_hints"
+  "../bench/ablation_um_hints.pdb"
+  "CMakeFiles/ablation_um_hints.dir/ablation_um_hints.cc.o"
+  "CMakeFiles/ablation_um_hints.dir/ablation_um_hints.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_um_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_collectives"
+  "../bench/ext_collectives.pdb"
+  "CMakeFiles/ext_collectives.dir/ext_collectives.cc.o"
+  "CMakeFiles/ext_collectives.dir/ext_collectives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

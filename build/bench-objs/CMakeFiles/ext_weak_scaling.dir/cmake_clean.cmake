@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_weak_scaling"
+  "../bench/ext_weak_scaling.pdb"
+  "CMakeFiles/ext_weak_scaling.dir/ext_weak_scaling.cc.o"
+  "CMakeFiles/ext_weak_scaling.dir/ext_weak_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_goodput"
+  "../bench/fig02_goodput.pdb"
+  "CMakeFiles/fig02_goodput.dir/fig02_goodput.cc.o"
+  "CMakeFiles/fig02_goodput.dir/fig02_goodput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_profile_heatmap"
+  "../bench/fig04_profile_heatmap.pdb"
+  "CMakeFiles/fig04_profile_heatmap.dir/fig04_profile_heatmap.cc.o"
+  "CMakeFiles/fig04_profile_heatmap.dir/fig04_profile_heatmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_profile_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

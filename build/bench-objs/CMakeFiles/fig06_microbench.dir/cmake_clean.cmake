@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_microbench"
+  "../bench/fig06_microbench.pdb"
+  "CMakeFiles/fig06_microbench.dir/fig06_microbench.cc.o"
+  "CMakeFiles/fig06_microbench.dir/fig06_microbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_endtoend"
+  "../bench/fig07_endtoend.pdb"
+  "CMakeFiles/fig07_endtoend.dir/fig07_endtoend.cc.o"
+  "CMakeFiles/fig07_endtoend.dir/fig07_endtoend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_overhead"
+  "../bench/fig08_overhead.pdb"
+  "CMakeFiles/fig08_overhead.dir/fig08_overhead.cc.o"
+  "CMakeFiles/fig08_overhead.dir/fig08_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

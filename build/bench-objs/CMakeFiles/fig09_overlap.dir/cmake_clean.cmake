@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_overlap"
+  "../bench/fig09_overlap.pdb"
+  "CMakeFiles/fig09_overlap.dir/fig09_overlap.cc.o"
+  "CMakeFiles/fig09_overlap.dir/fig09_overlap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

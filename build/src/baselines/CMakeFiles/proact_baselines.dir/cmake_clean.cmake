@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_baselines.dir/runner.cc.o"
+  "CMakeFiles/proact_baselines.dir/runner.cc.o.d"
+  "libproact_baselines.a"
+  "libproact_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_collectives.dir/collectives.cc.o"
+  "CMakeFiles/proact_collectives.dir/collectives.cc.o.d"
+  "libproact_collectives.a"
+  "libproact_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_gpu.dir/dma_engine.cc.o"
+  "CMakeFiles/proact_gpu.dir/dma_engine.cc.o.d"
+  "CMakeFiles/proact_gpu.dir/gpu.cc.o"
+  "CMakeFiles/proact_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/proact_gpu.dir/gpu_spec.cc.o"
+  "CMakeFiles/proact_gpu.dir/gpu_spec.cc.o.d"
+  "libproact_gpu.a"
+  "libproact_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_harness.dir/paradigm.cc.o"
+  "CMakeFiles/proact_harness.dir/paradigm.cc.o.d"
+  "CMakeFiles/proact_harness.dir/session.cc.o"
+  "CMakeFiles/proact_harness.dir/session.cc.o.d"
+  "libproact_harness.a"
+  "libproact_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

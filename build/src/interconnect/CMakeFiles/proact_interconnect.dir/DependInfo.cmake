@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/fabric.cc" "src/interconnect/CMakeFiles/proact_interconnect.dir/fabric.cc.o" "gcc" "src/interconnect/CMakeFiles/proact_interconnect.dir/fabric.cc.o.d"
+  "/root/repo/src/interconnect/interconnect.cc" "src/interconnect/CMakeFiles/proact_interconnect.dir/interconnect.cc.o" "gcc" "src/interconnect/CMakeFiles/proact_interconnect.dir/interconnect.cc.o.d"
+  "/root/repo/src/interconnect/packet_model.cc" "src/interconnect/CMakeFiles/proact_interconnect.dir/packet_model.cc.o" "gcc" "src/interconnect/CMakeFiles/proact_interconnect.dir/packet_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/proact_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_interconnect.dir/fabric.cc.o"
+  "CMakeFiles/proact_interconnect.dir/fabric.cc.o.d"
+  "CMakeFiles/proact_interconnect.dir/interconnect.cc.o"
+  "CMakeFiles/proact_interconnect.dir/interconnect.cc.o.d"
+  "CMakeFiles/proact_interconnect.dir/packet_model.cc.o"
+  "CMakeFiles/proact_interconnect.dir/packet_model.cc.o.d"
+  "libproact_interconnect.a"
+  "libproact_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

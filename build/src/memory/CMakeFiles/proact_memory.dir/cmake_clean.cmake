@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_memory.dir/page_table.cc.o"
+  "CMakeFiles/proact_memory.dir/page_table.cc.o.d"
+  "CMakeFiles/proact_memory.dir/um_driver.cc.o"
+  "CMakeFiles/proact_memory.dir/um_driver.cc.o.d"
+  "libproact_memory.a"
+  "libproact_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

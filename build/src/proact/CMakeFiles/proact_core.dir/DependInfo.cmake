@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proact/config.cc" "src/proact/CMakeFiles/proact_core.dir/config.cc.o" "gcc" "src/proact/CMakeFiles/proact_core.dir/config.cc.o.d"
+  "/root/repo/src/proact/counters.cc" "src/proact/CMakeFiles/proact_core.dir/counters.cc.o" "gcc" "src/proact/CMakeFiles/proact_core.dir/counters.cc.o.d"
+  "/root/repo/src/proact/instrumentation.cc" "src/proact/CMakeFiles/proact_core.dir/instrumentation.cc.o" "gcc" "src/proact/CMakeFiles/proact_core.dir/instrumentation.cc.o.d"
+  "/root/repo/src/proact/profiler.cc" "src/proact/CMakeFiles/proact_core.dir/profiler.cc.o" "gcc" "src/proact/CMakeFiles/proact_core.dir/profiler.cc.o.d"
+  "/root/repo/src/proact/region.cc" "src/proact/CMakeFiles/proact_core.dir/region.cc.o" "gcc" "src/proact/CMakeFiles/proact_core.dir/region.cc.o.d"
+  "/root/repo/src/proact/runtime.cc" "src/proact/CMakeFiles/proact_core.dir/runtime.cc.o" "gcc" "src/proact/CMakeFiles/proact_core.dir/runtime.cc.o.d"
+  "/root/repo/src/proact/transfer_agent.cc" "src/proact/CMakeFiles/proact_core.dir/transfer_agent.cc.o" "gcc" "src/proact/CMakeFiles/proact_core.dir/transfer_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/proact_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/proact_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/proact_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proact_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

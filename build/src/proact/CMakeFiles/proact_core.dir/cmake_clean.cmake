@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_core.dir/config.cc.o"
+  "CMakeFiles/proact_core.dir/config.cc.o.d"
+  "CMakeFiles/proact_core.dir/counters.cc.o"
+  "CMakeFiles/proact_core.dir/counters.cc.o.d"
+  "CMakeFiles/proact_core.dir/instrumentation.cc.o"
+  "CMakeFiles/proact_core.dir/instrumentation.cc.o.d"
+  "CMakeFiles/proact_core.dir/profiler.cc.o"
+  "CMakeFiles/proact_core.dir/profiler.cc.o.d"
+  "CMakeFiles/proact_core.dir/region.cc.o"
+  "CMakeFiles/proact_core.dir/region.cc.o.d"
+  "CMakeFiles/proact_core.dir/runtime.cc.o"
+  "CMakeFiles/proact_core.dir/runtime.cc.o.d"
+  "CMakeFiles/proact_core.dir/transfer_agent.cc.o"
+  "CMakeFiles/proact_core.dir/transfer_agent.cc.o.d"
+  "libproact_core.a"
+  "libproact_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_sim.dir/channel.cc.o"
+  "CMakeFiles/proact_sim.dir/channel.cc.o.d"
+  "CMakeFiles/proact_sim.dir/event_queue.cc.o"
+  "CMakeFiles/proact_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/proact_sim.dir/logging.cc.o"
+  "CMakeFiles/proact_sim.dir/logging.cc.o.d"
+  "CMakeFiles/proact_sim.dir/stats.cc.o"
+  "CMakeFiles/proact_sim.dir/stats.cc.o.d"
+  "CMakeFiles/proact_sim.dir/trace.cc.o"
+  "CMakeFiles/proact_sim.dir/trace.cc.o.d"
+  "libproact_sim.a"
+  "libproact_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/multi_gpu_system.cc" "src/system/CMakeFiles/proact_system.dir/multi_gpu_system.cc.o" "gcc" "src/system/CMakeFiles/proact_system.dir/multi_gpu_system.cc.o.d"
+  "/root/repo/src/system/platform.cc" "src/system/CMakeFiles/proact_system.dir/platform.cc.o" "gcc" "src/system/CMakeFiles/proact_system.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/proact_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/proact_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proact_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

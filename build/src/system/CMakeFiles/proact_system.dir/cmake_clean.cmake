@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_system.dir/multi_gpu_system.cc.o"
+  "CMakeFiles/proact_system.dir/multi_gpu_system.cc.o.d"
+  "CMakeFiles/proact_system.dir/platform.cc.o"
+  "CMakeFiles/proact_system.dir/platform.cc.o.d"
+  "libproact_system.a"
+  "libproact_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libproact_system.a"
+)

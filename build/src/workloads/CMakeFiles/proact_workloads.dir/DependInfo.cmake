@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/als.cc" "src/workloads/CMakeFiles/proact_workloads.dir/als.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/als.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/proact_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/jacobi.cc" "src/workloads/CMakeFiles/proact_workloads.dir/jacobi.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/jacobi.cc.o.d"
+  "/root/repo/src/workloads/mbir.cc" "src/workloads/CMakeFiles/proact_workloads.dir/mbir.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/mbir.cc.o.d"
+  "/root/repo/src/workloads/microbench.cc" "src/workloads/CMakeFiles/proact_workloads.dir/microbench.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/microbench.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/proact_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/proact_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/sssp.cc" "src/workloads/CMakeFiles/proact_workloads.dir/sssp.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/sssp.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/proact_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/proact_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/proact_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/proact_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proact_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/proact_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proact_workloads.dir/als.cc.o"
+  "CMakeFiles/proact_workloads.dir/als.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/graph.cc.o"
+  "CMakeFiles/proact_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/jacobi.cc.o"
+  "CMakeFiles/proact_workloads.dir/jacobi.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/mbir.cc.o"
+  "CMakeFiles/proact_workloads.dir/mbir.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/microbench.cc.o"
+  "CMakeFiles/proact_workloads.dir/microbench.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/proact_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/registry.cc.o"
+  "CMakeFiles/proact_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/sssp.cc.o"
+  "CMakeFiles/proact_workloads.dir/sssp.cc.o.d"
+  "CMakeFiles/proact_workloads.dir/workload.cc.o"
+  "CMakeFiles/proact_workloads.dir/workload.cc.o.d"
+  "libproact_workloads.a"
+  "libproact_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proact_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_env.dir/test_config_env.cc.o"
+  "CMakeFiles/test_config_env.dir/test_config_env.cc.o.d"
+  "test_config_env"
+  "test_config_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/test_determinism.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/test_determinism.dir/test_determinism.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/proact_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/proact_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/proact/CMakeFiles/proact_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/proact_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/proact_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/proact_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/proact_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/proact_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/proact_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proact_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_tracking.dir/test_fuzz_tracking.cc.o"
+  "CMakeFiles/test_fuzz_tracking.dir/test_fuzz_tracking.cc.o.d"
+  "test_fuzz_tracking"
+  "test_fuzz_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrumentation.dir/test_instrumentation.cc.o"
+  "CMakeFiles/test_instrumentation.dir/test_instrumentation.cc.o.d"
+  "test_instrumentation"
+  "test_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_joiner.dir/test_joiner.cc.o"
+  "CMakeFiles/test_joiner.dir/test_joiner.cc.o.d"
+  "test_joiner"
+  "test_joiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_joiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_counters.dir/test_region_counters.cc.o"
+  "CMakeFiles/test_region_counters.dir/test_region_counters.cc.o.d"
+  "test_region_counters"
+  "test_region_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stencil_runtime.dir/test_stencil_runtime.cc.o"
+  "CMakeFiles/test_stencil_runtime.dir/test_stencil_runtime.cc.o.d"
+  "test_stencil_runtime"
+  "test_stencil_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stencil_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
