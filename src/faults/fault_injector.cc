@@ -1,0 +1,201 @@
+#include "faults/fault_injector.hh"
+
+#include "gpu/dma_engine.hh"
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace proact {
+
+/**
+ * Boundary events (rate changes, stalls) run before any same-tick
+ * transfer submission sees the new state.
+ */
+constexpr int faultEventPriority = -100;
+
+FaultInjector::FaultInjector(EventQueue &eq, Interconnect &fabric,
+                             FaultPlan plan)
+    : _eq(eq), _fabric(fabric), _plan(std::move(plan)),
+      _rng(_plan.seed)
+{
+}
+
+FaultInjector::~FaultInjector()
+{
+    if (_armed)
+        disarm();
+}
+
+void
+FaultInjector::addDmaEngine(int gpu_id, DmaEngine &dma)
+{
+    _dmas.emplace_back(gpu_id, &dma);
+}
+
+template <typename Fn>
+void
+FaultInjector::forEachTargetChannel(const FaultEpisode &ep, Fn &&fn)
+{
+    const int n = _fabric.numGpus();
+    if (_fabric.pairwise()) {
+        for (int s = 0; s < n; ++s) {
+            for (int d = 0; d < n; ++d) {
+                if (s != d && ep.matchesLink(s, d))
+                    fn(_fabric.pairLink(s, d));
+            }
+        }
+        return;
+    }
+    // Shared-port fabrics have no per-pair channel: a directed-link
+    // episode degrades the source's egress and the destination's
+    // ingress; wildcards widen to every port (and the core).
+    for (int g = 0; g < n; ++g) {
+        if (ep.src < 0 || ep.src == g)
+            fn(_fabric.egress(g));
+        if (ep.dst < 0 || ep.dst == g)
+            fn(_fabric.ingress(g));
+    }
+    if (ep.src < 0 && ep.dst < 0 && _fabric.hasCore())
+        fn(_fabric.core());
+}
+
+void
+FaultInjector::applyRateScales()
+{
+    const Tick now = _eq.curTick();
+
+    // Recompute from scratch so ended windows restore cleanly and
+    // overlapping windows compose (most severe wins).
+    std::map<Channel *, double> scales;
+    for (const FaultEpisode &ep : _plan.episodes) {
+        if (ep.kind != FaultKind::LinkDegrade)
+            continue;
+        forEachTargetChannel(ep, [&](Channel &ch) {
+            auto [it, inserted] = scales.emplace(&ch, 1.0);
+            if (ep.active(now))
+                it->second = std::min(it->second, 1.0 - ep.severity);
+        });
+    }
+    for (const auto &[ch, scale] : scales)
+        ch->setRateScale(scale);
+}
+
+void
+FaultInjector::arm()
+{
+    if (_armed)
+        fatalError("FaultInjector: arm() called twice");
+    _plan.validate(_fabric.numGpus());
+    _armed = true;
+
+    _fabric.setFaultFilter(
+        [this](const Interconnect::Request &req, Tick delivered) {
+            return onTransfer(req, delivered);
+        });
+
+    for (const FaultEpisode &ep : _plan.episodes) {
+        // Windows already open when the plan is armed take effect
+        // right now: work submitted synchronously before the queue
+        // runs must not see a pristine fabric.
+        if (ep.start <= _eq.curTick()) {
+            beginEpisode(ep);
+        } else {
+            _eq.schedule(ep.start, [this, ep] { beginEpisode(ep); },
+                         faultEventPriority);
+        }
+
+        // An end boundary only matters for state that must be
+        // restored; open-ended windows (end == maxTick) must not pin
+        // an event on the queue forever.
+        if (ep.kind == FaultKind::LinkDegrade && ep.end != maxTick) {
+            _eq.schedule(ep.end, [this] { applyRateScales(); },
+                         faultEventPriority);
+        }
+    }
+}
+
+void
+FaultInjector::beginEpisode(const FaultEpisode &ep)
+{
+    _stats.inc("faults.injected");
+    if (_trace) {
+        _trace->record(_eq.curTick(),
+                       ep.end == maxTick ? _eq.curTick() : ep.end,
+                       "fault", ep.describe());
+    }
+    switch (ep.kind) {
+      case FaultKind::LinkDegrade:
+        _stats.inc("faults.degrade_windows");
+        applyRateScales();
+        break;
+      case FaultKind::LinkDown:
+        _stats.inc("faults.down_windows");
+        break;
+      case FaultKind::DmaStall:
+        _stats.inc("faults.stall_windows");
+        for (auto &[gpu_id, dma] : _dmas) {
+            if (ep.gpu < 0 || ep.gpu == gpu_id)
+                dma->stall(ep.end);
+        }
+        break;
+      case FaultKind::DeliveryDrop:
+      case FaultKind::DeliveryDelay:
+        // Applied per delivery by the fault filter.
+        break;
+    }
+}
+
+void
+FaultInjector::disarm()
+{
+    _fabric.setFaultFilter(nullptr);
+    _armed = false;
+}
+
+Interconnect::FaultVerdict
+FaultInjector::onTransfer(const Interconnect::Request &req,
+                          Tick /*delivered*/)
+{
+    // Episodes judge a transfer at its submission tick — the
+    // cut-through booking model decides the whole path up front, so
+    // the wire state "now" is what the transfer experiences.
+    const Tick now = _eq.curTick();
+    Interconnect::FaultVerdict verdict;
+
+    for (const FaultEpisode &ep : _plan.episodes) {
+        if (!ep.active(now))
+            continue;
+        switch (ep.kind) {
+          case FaultKind::LinkDown:
+            if (ep.matchesLink(req.src, req.dst))
+                verdict.drop = true;
+            break;
+          case FaultKind::DeliveryDrop:
+            if (!verdict.drop && ep.matchesLink(req.src, req.dst) &&
+                _rng.uniform() < ep.severity) {
+                verdict.drop = true;
+            }
+            break;
+          case FaultKind::DeliveryDelay:
+            if (ep.matchesLink(req.src, req.dst))
+                verdict.extraDelay += ep.delay;
+            break;
+          case FaultKind::LinkDegrade:
+          case FaultKind::DmaStall:
+            break;
+        }
+    }
+
+    if (verdict.drop) {
+        _stats.inc("faults.injected");
+        _stats.inc("faults.dropped");
+        verdict.extraDelay = 0;
+    } else if (verdict.extraDelay > 0) {
+        _stats.inc("faults.injected");
+        _stats.inc("faults.delayed");
+    }
+    return verdict;
+}
+
+} // namespace proact

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Arms a FaultPlan on a live system.
+ *
+ * The injector turns the declarative plan into simulator behaviour:
+ * link-degradation windows become scheduled rate-scale changes on the
+ * fabric's channels, DMA-stall windows become engine stalls, and
+ * drop/delay/down episodes become a fault filter consulted by
+ * Interconnect::transfer() for every non-reliable delivery. All
+ * probabilistic decisions come from one Rng seeded by the plan, and
+ * decisions are made in event order, so identical (plan, workload)
+ * pairs replay identically.
+ */
+
+#ifndef PROACT_FAULTS_FAULT_INJECTOR_HH
+#define PROACT_FAULTS_FAULT_INJECTOR_HH
+
+#include "faults/fault_plan.hh"
+#include "interconnect/interconnect.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+#include <vector>
+
+namespace proact {
+
+class DmaEngine;
+
+/**
+ * Applies a FaultPlan to one fabric (and optionally DMA engines).
+ *
+ * Stats (read via stats()):
+ *  - faults.injected:        every applied fault action
+ *  - faults.dropped:         deliveries lost (drop + down episodes)
+ *  - faults.delayed:         deliveries that took a delay spike
+ *  - faults.degrade_windows: degradation windows that began
+ *  - faults.stall_windows:   DMA-stall windows that began
+ *
+ * Trace spans (when attached): category "fault", one span per
+ * episode window plus an instant span per dropped delivery (the
+ * latter recorded by the fabric itself).
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param eq The system's event queue.
+     * @param fabric Fabric whose deliveries the plan perturbs.
+     * @param plan Schedule to arm; validated against the fabric.
+     */
+    FaultInjector(EventQueue &eq, Interconnect &fabric, FaultPlan plan);
+
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Register a DMA engine as a DmaStall target (its GPU's id). */
+    void addDmaEngine(int gpu_id, DmaEngine &dma);
+
+    /**
+     * Install the fault filter and schedule every episode boundary.
+     * Must be called before the run; calling twice is an error.
+     */
+    void arm();
+
+    /** Remove the fault filter (future transfers are fault-free). */
+    void disarm();
+
+    bool armed() const { return _armed; }
+
+    const FaultPlan &plan() const { return _plan; }
+
+    StatSet &stats() { return _stats; }
+    const StatSet &stats() const { return _stats; }
+
+    /** Attach a span tracer for fault/episode spans. */
+    void setTrace(Trace *trace) { _trace = trace; }
+
+  private:
+    EventQueue &_eq;
+    Interconnect &_fabric;
+    FaultPlan _plan;
+    Rng _rng;
+    StatSet _stats;
+    Trace *_trace = nullptr;
+    std::vector<std::pair<int, DmaEngine *>> _dmas;
+    bool _armed = false;
+
+    Interconnect::FaultVerdict onTransfer(
+        const Interconnect::Request &req, Tick delivered);
+
+    /** Apply an episode's start-of-window effects. */
+    void beginEpisode(const FaultEpisode &ep);
+
+    /** Recompute rate scales from the episodes active right now. */
+    void applyRateScales();
+
+    /** Channels a link-targeted episode maps onto. */
+    template <typename Fn>
+    void forEachTargetChannel(const FaultEpisode &ep, Fn &&fn);
+};
+
+} // namespace proact
+
+#endif // PROACT_FAULTS_FAULT_INJECTOR_HH

@@ -1,0 +1,166 @@
+#include "faults/fault_plan.hh"
+
+#include "sim/logging.hh"
+
+#include <sstream>
+
+namespace proact {
+
+std::string
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LinkDegrade:
+        return "degrade";
+      case FaultKind::LinkDown:
+        return "down";
+      case FaultKind::DeliveryDrop:
+        return "drop";
+      case FaultKind::DeliveryDelay:
+        return "delay";
+      case FaultKind::DmaStall:
+        return "dma-stall";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string
+endpoint(int id)
+{
+    return id < 0 ? "*" : std::to_string(id);
+}
+
+} // namespace
+
+std::string
+FaultEpisode::describe() const
+{
+    std::ostringstream oss;
+    oss << faultKindName(kind);
+    switch (kind) {
+      case FaultKind::LinkDegrade:
+      case FaultKind::DeliveryDrop:
+        oss << " p=" << severity;
+        break;
+      case FaultKind::DeliveryDelay:
+        oss << " +" << delay << "t";
+        break;
+      default:
+        break;
+    }
+    if (kind == FaultKind::DmaStall)
+        oss << " gpu" << endpoint(gpu);
+    else
+        oss << " gpu" << endpoint(src) << "->gpu" << endpoint(dst);
+    return oss.str();
+}
+
+void
+FaultPlan::validate(int num_gpus) const
+{
+    for (const FaultEpisode &ep : episodes) {
+        const std::string what = ep.describe();
+        if (ep.start >= ep.end)
+            fatalError("FaultPlan: empty window for episode ", what);
+        if (ep.src >= num_gpus || ep.dst >= num_gpus ||
+            ep.gpu >= num_gpus) {
+            fatalError("FaultPlan: target out of range for episode ",
+                       what, " (", num_gpus, " GPUs)");
+        }
+        if (ep.src >= 0 && ep.src == ep.dst)
+            fatalError("FaultPlan: src == dst for episode ", what);
+        switch (ep.kind) {
+          case FaultKind::LinkDegrade:
+            if (ep.severity <= 0.0 || ep.severity >= 1.0)
+                fatalError("FaultPlan: degrade fraction must be in "
+                           "(0, 1), got ", ep.severity);
+            break;
+          case FaultKind::DeliveryDrop:
+            if (ep.severity <= 0.0 || ep.severity > 1.0)
+                fatalError("FaultPlan: drop probability must be in "
+                           "(0, 1], got ", ep.severity);
+            break;
+          case FaultKind::DeliveryDelay:
+            if (ep.delay == 0)
+                fatalError("FaultPlan: zero delay spike");
+            break;
+          case FaultKind::LinkDown:
+          case FaultKind::DmaStall:
+            break;
+        }
+    }
+}
+
+FaultPlan &
+FaultPlan::degradeLink(Tick start, Tick end, double fraction, int src,
+                       int dst)
+{
+    FaultEpisode ep;
+    ep.kind = FaultKind::LinkDegrade;
+    ep.start = start;
+    ep.end = end;
+    ep.severity = fraction;
+    ep.src = src;
+    ep.dst = dst;
+    episodes.push_back(ep);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::downLink(Tick start, Tick end, int src, int dst)
+{
+    FaultEpisode ep;
+    ep.kind = FaultKind::LinkDown;
+    ep.start = start;
+    ep.end = end;
+    ep.src = src;
+    ep.dst = dst;
+    episodes.push_back(ep);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::dropDeliveries(Tick start, Tick end, double probability,
+                          int src, int dst)
+{
+    FaultEpisode ep;
+    ep.kind = FaultKind::DeliveryDrop;
+    ep.start = start;
+    ep.end = end;
+    ep.severity = probability;
+    ep.src = src;
+    ep.dst = dst;
+    episodes.push_back(ep);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::delayDeliveries(Tick start, Tick end, Tick delay, int src,
+                           int dst)
+{
+    FaultEpisode ep;
+    ep.kind = FaultKind::DeliveryDelay;
+    ep.start = start;
+    ep.end = end;
+    ep.delay = delay;
+    ep.src = src;
+    ep.dst = dst;
+    episodes.push_back(ep);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::stallDma(Tick start, Tick end, int gpu)
+{
+    FaultEpisode ep;
+    ep.kind = FaultKind::DmaStall;
+    ep.start = start;
+    ep.end = end;
+    ep.gpu = gpu;
+    episodes.push_back(ep);
+    return *this;
+}
+
+} // namespace proact

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Declarative fault schedules for the simulated fabric.
+ *
+ * A FaultPlan is a reproducible description of everything that goes
+ * wrong during a run: which links degrade or go down, when deliveries
+ * are dropped or delayed, and which DMA engines stall. The plan is
+ * pure data — the FaultInjector arms it on a live system — so the
+ * same plan can be replayed against different mechanisms and
+ * platforms, and two runs with the same plan (and seed) are
+ * tick-for-tick identical.
+ */
+
+#ifndef PROACT_FAULTS_FAULT_PLAN_HH
+#define PROACT_FAULTS_FAULT_PLAN_HH
+
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proact {
+
+/** The modeled failure modes. */
+enum class FaultKind
+{
+    /** Link runs at (1 - severity) x nominal bandwidth. */
+    LinkDegrade,
+
+    /** Link delivers nothing; every matching delivery is lost. */
+    LinkDown,
+
+    /** Each matching delivery is lost with probability = severity. */
+    DeliveryDrop,
+
+    /** Each matching delivery lands @c delay ticks late. */
+    DeliveryDelay,
+
+    /** The GPU's DMA engine accepts no new copies in the window. */
+    DmaStall,
+};
+
+std::string faultKindName(FaultKind kind);
+
+/**
+ * One fault episode: a kind, an active window [start, end), a target
+ * (link endpoints or GPU; -1 = wildcard), and a severity.
+ */
+struct FaultEpisode
+{
+    FaultKind kind = FaultKind::DeliveryDrop;
+
+    /** Active window [start, end). */
+    Tick start = 0;
+    Tick end = maxTick;
+
+    /** Link targets: -1 matches any source / destination GPU. */
+    int src = -1;
+    int dst = -1;
+
+    /** DmaStall target GPU (-1 = every engine). */
+    int gpu = -1;
+
+    /**
+     * LinkDegrade: fraction of nominal bandwidth removed, in (0, 1).
+     * DeliveryDrop: loss probability, in (0, 1].
+     */
+    double severity = 0.0;
+
+    /** DeliveryDelay: spike added to the delivery tick. */
+    Tick delay = 0;
+
+    bool active(Tick t) const { return t >= start && t < end; }
+
+    bool
+    matchesLink(int s, int d) const
+    {
+        return (src < 0 || src == s) && (dst < 0 || dst == d);
+    }
+
+    /** Diagnostic one-liner, e.g. "drop p=0.01 gpu*->gpu2". */
+    std::string describe() const;
+};
+
+/**
+ * A seeded schedule of fault episodes.
+ *
+ * The fluent builders cover the common cases; episodes can also be
+ * pushed directly. validate() rejects nonsense before a run starts.
+ */
+struct FaultPlan
+{
+    /** Seed for probabilistic decisions (delivery drops). */
+    std::uint64_t seed = 1;
+
+    std::vector<FaultEpisode> episodes;
+
+    bool empty() const { return episodes.empty(); }
+
+    /**
+     * Check every episode against a system of @p num_gpus GPUs.
+     * @throws FatalError on invalid windows, targets or severities.
+     */
+    void validate(int num_gpus) const;
+
+    /** @{ @name Fluent episode builders (return *this for chaining) */
+    FaultPlan &degradeLink(Tick start, Tick end, double fraction,
+                           int src = -1, int dst = -1);
+    FaultPlan &downLink(Tick start, Tick end, int src = -1,
+                        int dst = -1);
+    FaultPlan &dropDeliveries(Tick start, Tick end, double probability,
+                              int src = -1, int dst = -1);
+    FaultPlan &delayDeliveries(Tick start, Tick end, Tick delay,
+                               int src = -1, int dst = -1);
+    FaultPlan &stallDma(Tick start, Tick end, int gpu = -1);
+    /** @} */
+};
+
+} // namespace proact
+
+#endif // PROACT_FAULTS_FAULT_PLAN_HH

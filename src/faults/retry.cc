@@ -1,0 +1,106 @@
+#include "faults/retry.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace proact {
+
+void
+RetryingSender::bumpStat(const std::string &name)
+{
+    if (_stats)
+        _stats->inc(name);
+}
+
+std::string
+RetryingSender::label(const Interconnect::Request &req) const
+{
+    return "gpu" + std::to_string(req.src) + "->gpu"
+        + std::to_string(req.dst);
+}
+
+Tick
+RetryingSender::send(Interconnect::Request req)
+{
+    if (!_policy.enabled)
+        return _fabric.transfer(req);
+    return attempt(req, 1);
+}
+
+Tick
+RetryingSender::attempt(const Interconnect::Request &req,
+                        int attempt_no)
+{
+    auto acked = std::make_shared<bool>(false);
+
+    Interconnect::Request wire = req;
+    wire.onComplete = [this, acked, cb = req.onComplete] {
+        *acked = true;
+        --_inFlight;
+        if (cb)
+            cb();
+    };
+
+    const Tick submit = _eq.curTick();
+    const Tick predicted = _fabric.transfer(wire);
+    ++_inFlight;
+
+    // The ack horizon: a surviving delivery always lands at the
+    // predicted tick (delay faults are folded into it), so a timeout
+    // one tick past it can only mean loss. The ackTimeout floor
+    // models the real cost of discovering the loss, counted from the
+    // moment the transfer enters the fabric (after any backoff hold).
+    const Tick entered = std::max(submit, req.notBefore);
+    const Tick timeout =
+        std::max(predicted + 1, entered + _policy.ackTimeout);
+
+    _eq.schedule(timeout, [this, req, attempt_no, acked, submit] {
+        if (*acked)
+            return;
+        --_inFlight;
+        if (_trace) {
+            _trace->record(submit, _eq.curTick(), "retry",
+                           label(req) + " attempt"
+                               + std::to_string(attempt_no)
+                               + " lost");
+        }
+        if (attempt_no >= _policy.maxAttempts) {
+            fallback(req, submit);
+            return;
+        }
+        bumpStat("transfers.retried");
+        Interconnect::Request again = req;
+        again.notBefore =
+            _eq.curTick() + _policy.backoff(attempt_no);
+        attempt(again, attempt_no + 1);
+    });
+
+    return predicted;
+}
+
+void
+RetryingSender::fallback(const Interconnect::Request &req,
+                         Tick first_submit)
+{
+    bumpStat("transfers.abandoned");
+    bumpStat("fallback.activations");
+
+    // Degraded mode: hand the payload to the hardware-reliable bulk
+    // path (engine granularity, no thread cap) — the same guarantee
+    // DMA and UM migrations enjoy. Delivery may be slow under link
+    // degradation but can no longer be lost.
+    Interconnect::Request bulk = req;
+    bulk.reliable = true;
+    bulk.writeGranularity = _fabric.packetModel().maxPayloadBytes;
+    bulk.threads = 0;
+    bulk.notBefore = _eq.curTick();
+    const Tick done = _fabric.transfer(bulk);
+
+    if (_trace) {
+        _trace->record(first_submit, done, "fallback",
+                       label(req) + " reliable re-send");
+    }
+}
+
+} // namespace proact

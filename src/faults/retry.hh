@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Acknowledged delivery with timeout, bounded exponential backoff and
+ * a reliable-path fallback.
+ *
+ * PROACT's fine-grained push traffic has no hardware delivery
+ * guarantee, so on a faulty fabric a chunk can simply vanish. The
+ * RetryingSender wraps Interconnect::transfer() with per-transfer
+ * acknowledgement bookkeeping: every submission schedules an ack
+ * timeout; if the ack never arrives the transfer is re-pushed after a
+ * backoff that doubles per attempt, and once the retry budget is
+ * exhausted the sender degrades gracefully — the payload is re-sent
+ * over the hardware-reliable bulk path (the same path DMA and UM
+ * migrations use) instead of hanging the simulation.
+ *
+ * The sender is omniscient about the fault-free delivery tick (the
+ * fabric returns it at submission), so the ack timeout is modeled as
+ * max(predicted delivery + 1, submission + ackTimeout): a timeout
+ * only ever fires for a genuinely lost delivery, which keeps retries
+ * duplicate-free and runs deterministic.
+ */
+
+#ifndef PROACT_FAULTS_RETRY_HH
+#define PROACT_FAULTS_RETRY_HH
+
+#include "interconnect/interconnect.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+#include "sim/types.hh"
+
+#include <cstdint>
+
+namespace proact {
+
+/** Knobs of the retry state machine. */
+struct RetryPolicy
+{
+    /** Off by default: a perfect fabric needs no acknowledgements. */
+    bool enabled = false;
+
+    /** Minimum wait for an ack before declaring a delivery lost. */
+    Tick ackTimeout = 5 * ticksPerMicrosecond;
+
+    /** Backoff before attempt k+1 is base << (k-1), capped below. */
+    Tick backoffBase = 2 * ticksPerMicrosecond;
+    Tick backoffMax = 64 * ticksPerMicrosecond;
+
+    /** Total send attempts (including the first) before fallback. */
+    int maxAttempts = 5;
+
+    /** Backoff after failed attempt @p attempt (1-based), capped. */
+    Tick
+    backoff(int attempt) const
+    {
+        Tick b = backoffBase;
+        for (int i = 1; i < attempt && b < backoffMax; ++i)
+            b *= 2;
+        return b < backoffMax ? b : backoffMax;
+    }
+};
+
+/**
+ * Retrying wrapper around one fabric.
+ *
+ * Stats recorded into the shared StatSet (when present):
+ *  - transfers.retried:    re-pushes after a lost delivery
+ *  - transfers.abandoned:  (transfer, attempt-budget) exhaustions
+ *  - fallback.activations: reliable-path re-sends after abandonment
+ *
+ * Trace spans (when a Trace is attached): category "retry" from the
+ * lost attempt's submission to its timeout, and a "fallback" span
+ * covering the reliable re-send.
+ */
+class RetryingSender
+{
+  public:
+    RetryingSender(EventQueue &eq, Interconnect &fabric,
+                   RetryPolicy policy, StatSet *stats = nullptr,
+                   Trace *trace = nullptr)
+        : _eq(eq), _fabric(fabric), _policy(policy), _stats(stats),
+          _trace(trace)
+    {
+    }
+
+    RetryingSender(const RetryingSender &) = delete;
+    RetryingSender &operator=(const RetryingSender &) = delete;
+
+    /**
+     * Submit @p req with retry-on-loss semantics. The request's
+     * onComplete fires exactly once, at whichever attempt (or the
+     * fallback) finally lands.
+     *
+     * @return Predicted delivery tick of the first attempt. Retries
+     *         extend beyond it; eventual delivery is guaranteed.
+     */
+    Tick send(Interconnect::Request req);
+
+    const RetryPolicy &policy() const { return _policy; }
+
+    /** Transfers currently awaiting an acknowledgement. */
+    std::uint64_t inFlight() const { return _inFlight; }
+
+  private:
+    EventQueue &_eq;
+    Interconnect &_fabric;
+    RetryPolicy _policy;
+    StatSet *_stats;
+    Trace *_trace;
+    std::uint64_t _inFlight = 0;
+
+    Tick attempt(const Interconnect::Request &req, int attempt_no);
+    void fallback(const Interconnect::Request &req, Tick first_submit);
+    void bumpStat(const std::string &name);
+    std::string label(const Interconnect::Request &req) const;
+};
+
+} // namespace proact
+
+#endif // PROACT_FAULTS_RETRY_HH

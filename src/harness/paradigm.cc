@@ -43,6 +43,9 @@ makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
         return std::make_unique<UnifiedMemoryRuntime>(system);
       case Paradigm::ProactInline: {
         ProactRuntime::Options options;
+        // Inline ignores chunk/thread knobs but keeps the retry
+        // policy so fault-tolerant sweeps cover it too.
+        options.config = config;
         options.config.mechanism = TransferMechanism::Inline;
         return std::make_unique<ProactRuntime>(system, options);
       }

@@ -25,7 +25,17 @@ Session::run(Workload &workload, Paradigm paradigm,
     MultiGpuSystem system(_platform);
     system.setFunctional(functional);
 
-    auto runtime = makeRuntime(paradigm, system, config);
+    // PROACT_FAULTS=1 turns any session run into a fault-injection
+    // run: the env-described plan is armed on the fresh system and
+    // the PROACT paths get the matching retry policy (a lossy fabric
+    // without acknowledged delivery would lose deliveries).
+    TransferConfig effective = config;
+    if (envFaultsEnabled()) {
+        system.installFaults(envFaultPlan());
+        effective.retry = envRetryPolicy();
+    }
+
+    auto runtime = makeRuntime(paradigm, system, effective);
 
     ParadigmRun result;
     result.paradigm = paradigm;

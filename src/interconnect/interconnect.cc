@@ -130,14 +130,9 @@ Interconnect::transfer(const Request &req)
         const auto pair_wire_eq = static_cast<std::uint64_t>(
             static_cast<double>(wire) * link.rate() / pair_eff);
         const Tick start = link.nextStart(nb);
-        const Tick delivered = link.submitAfter(
-            nb, pair_wire_eq, req.bytes, std::move(req.onComplete));
-        if (_trace) {
-            _trace->record(start, delivered, "transfer",
-                           "gpu" + std::to_string(req.src) + "->gpu"
-                               + std::to_string(req.dst));
-        }
-        return delivered;
+        const Tick delivered =
+            link.submitAfter(nb, pair_wire_eq, req.bytes);
+        return finishDelivery(req, start, delivered);
     }
 
     // Cut-through booking: each hop starts once the previous hop
@@ -158,13 +153,35 @@ Interconnect::transfer(const Request &req)
 
     const Tick delivered = std::max(
         {e_end + _spec.latency, c_end + _spec.latency, i_delivered});
-    if (req.onComplete)
-        _eq.schedule(delivered, std::move(req.onComplete));
-    if (_trace) {
-        _trace->record(e_start, delivered, "transfer",
-                       "gpu" + std::to_string(req.src) + "->gpu"
-                           + std::to_string(req.dst));
+    return finishDelivery(req, e_start, delivered);
+}
+
+Tick
+Interconnect::finishDelivery(const Request &req, Tick start,
+                             Tick delivered)
+{
+    bool dropped = false;
+    if (_faultFilter && !req.reliable) {
+        const FaultVerdict verdict = _faultFilter(req, delivered);
+        dropped = verdict.drop;
+        delivered += verdict.extraDelay;
     }
+
+    if (dropped)
+        ++_droppedDeliveries;
+    else if (req.onComplete)
+        _eq.schedule(delivered, req.onComplete);
+
+    if (_trace) {
+        _trace->record(start, delivered,
+                       dropped ? "fault" : "transfer",
+                       "gpu" + std::to_string(req.src) + "->gpu"
+                           + std::to_string(req.dst)
+                           + (dropped ? " dropped" : ""));
+    }
+    // A dropped transfer still occupied the wire: the returned tick
+    // is when the delivery would have completed, which the retry
+    // layer uses as its acknowledgement horizon.
     return delivered;
 }
 

@@ -70,7 +70,30 @@ class Interconnect
          * synchronously together with the wire time.
          */
         Tick notBefore = 0;
+
+        /**
+         * Hardware-reliable path (DMA engines, UM page migration,
+         * the retry layer's fallback): exempt from delivery drop and
+         * delay faults. Degraded link rates still apply — reliability
+         * buys guaranteed delivery, not nominal bandwidth.
+         */
+        bool reliable = false;
     };
+
+    /** What fault injection decided about one delivery. */
+    struct FaultVerdict
+    {
+        bool drop = false;    ///< Delivery is lost (callback never fires).
+        Tick extraDelay = 0;  ///< Added to the delivery tick.
+    };
+
+    /**
+     * Hook consulted once per non-reliable transfer at submission,
+     * with the fault-free delivery tick. Installed by the
+     * FaultInjector (src/faults); nullptr means a perfect fabric.
+     */
+    using FaultFilter =
+        std::function<FaultVerdict(const Request &, Tick delivered)>;
 
     Interconnect(EventQueue &eq, const FabricSpec &spec, int num_gpus);
 
@@ -124,6 +147,20 @@ class Interconnect
     /** Attach a span tracer (nullptr disables tracing). */
     void setTrace(Trace *trace) { _trace = trace; }
 
+    /** Install the fault filter (nullptr restores the perfect fabric). */
+    void setFaultFilter(FaultFilter filter)
+    {
+        _faultFilter = std::move(filter);
+    }
+
+    bool hasFaultFilter() const { return _faultFilter != nullptr; }
+
+    /** Deliveries the fault filter dropped so far. */
+    std::uint64_t droppedDeliveries() const
+    {
+        return _droppedDeliveries;
+    }
+
   private:
     EventQueue &_eq;
     FabricSpec _spec;
@@ -140,8 +177,18 @@ class Interconnect
     std::vector<std::uint64_t> _storeTransactions;
     Histogram _writeSizes;
     Trace *_trace = nullptr;
+    FaultFilter _faultFilter;
+    std::uint64_t _droppedDeliveries = 0;
 
     void validate(const Request &req) const;
+
+    /**
+     * Consult the fault filter, schedule the completion callback
+     * (unless the delivery was dropped), and trace the span.
+     * @return The (possibly delayed) delivery tick.
+     */
+    Tick finishDelivery(const Request &req, Tick start,
+                        Tick delivered);
 };
 
 } // namespace proact

@@ -130,6 +130,8 @@ UmDriver::faultPath(int gpu, int owner, std::uint64_t missing_pages,
         _system.fabric().packetModel().maxPayloadBytes;
     req.threads = 0;
     req.notBefore = not_before;
+    // Page migration is driver-retried until it lands: reliable path.
+    req.reliable = true;
     const Tick wire_done = _system.fabric().transfer(req);
 
     // Exposed fault-service latency extends past the wire time.
@@ -161,6 +163,7 @@ UmDriver::prefetchPath(int gpu, int owner,
     req.notBefore =
         std::max(_system.now(), not_before) + prefetchCallCost;
     req.onComplete = std::move(on_complete);
+    req.reliable = true;
     return _system.fabric().transfer(req);
 }
 
@@ -190,6 +193,7 @@ UmDriver::legacyMigrate(int gpu, int owner, std::uint64_t bytes,
         _system.fabric().packetModel().maxPayloadBytes;
     req.threads = 0;
     req.notBefore = not_before;
+    req.reliable = true;
     const Tick wire_done = _system.fabric().transfer(req);
 
     const Tick done = wire_done + transferTicks(bytes, host_rate);

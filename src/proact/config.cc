@@ -1,5 +1,7 @@
 #include "proact/config.hh"
 
+#include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 namespace proact {
@@ -73,6 +75,67 @@ std::vector<std::uint32_t>
 threadCountSweep()
 {
     return {32, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+namespace {
+
+double
+envDouble(const char *name, double fallback, double lo, double hi)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env)
+        return fallback;
+    return std::clamp(v, lo, hi);
+}
+
+} // namespace
+
+bool
+envFaultsEnabled()
+{
+    const char *env = std::getenv("PROACT_FAULTS");
+    return env != nullptr && *env != '\0'
+        && std::string(env) != "0";
+}
+
+FaultPlan
+envFaultPlan()
+{
+    FaultPlan plan;
+    if (!envFaultsEnabled())
+        return plan;
+
+    const char *seed_env = std::getenv("PROACT_FAULT_SEED");
+    if (seed_env != nullptr && *seed_env != '\0')
+        plan.seed = std::strtoull(seed_env, nullptr, 10);
+
+    const double drop =
+        envDouble("PROACT_FAULT_DROP_RATE", 0.01, 0.0, 1.0);
+    if (drop > 0.0)
+        plan.dropDeliveries(0, maxTick, drop);
+
+    const double degrade =
+        envDouble("PROACT_FAULT_DEGRADE", 0.0, 0.0, 0.95);
+    if (degrade > 0.0)
+        plan.degradeLink(0, maxTick, degrade);
+
+    return plan;
+}
+
+RetryPolicy
+envRetryPolicy()
+{
+    RetryPolicy policy;
+    policy.enabled = envFaultsEnabled();
+
+    const char *env = std::getenv("PROACT_RETRY_MAX_ATTEMPTS");
+    if (env != nullptr && *env != '\0')
+        policy.maxAttempts = std::clamp(std::atoi(env), 1, 16);
+    return policy;
 }
 
 } // namespace proact

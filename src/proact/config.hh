@@ -11,6 +11,8 @@
 #ifndef PROACT_PROACT_CONFIG_HH
 #define PROACT_PROACT_CONFIG_HH
 
+#include "faults/fault_plan.hh"
+#include "faults/retry.hh"
 #include "sim/types.hh"
 
 #include <cstdint>
@@ -52,6 +54,13 @@ struct TransferConfig
     /** Transfer threads (paper range: 32 - 8192). */
     std::uint32_t transferThreads = 256;
 
+    /**
+     * Delivery acknowledgement / retry policy for the push traffic.
+     * Disabled by default (a fault-free fabric needs none); must be
+     * enabled when the system has a FaultPlan installed.
+     */
+    RetryPolicy retry;
+
     /** Table II-style rendering, e.g. "D 128kB 2048 Poll" or "I". */
     std::string toString() const;
 
@@ -69,6 +78,38 @@ std::vector<std::uint64_t> chunkSizeSweep();
 
 /** Paper's studied transfer-thread sweep: 32 ... 8192. */
 std::vector<std::uint32_t> threadCountSweep();
+
+/** @{ @name Environment-variable fault knobs
+ *
+ * Benchmarks enable fault injection without recompiling:
+ *  - PROACT_FAULTS=1            master switch (0/unset = off)
+ *  - PROACT_FAULT_DROP_RATE     delivery-loss probability
+ *                               (default 0.01, clamped to [0, 1])
+ *  - PROACT_FAULT_DEGRADE       fabric bandwidth fraction removed for
+ *                               the whole run (default 0, clamp
+ *                               [0, 0.95]; 0 = no degradation window)
+ *  - PROACT_FAULT_SEED          drop-decision seed (default 1)
+ *  - PROACT_RETRY_MAX_ATTEMPTS  retry budget before the reliable
+ *                               fallback (default 5, clamp [1, 16])
+ */
+
+/** Whether PROACT_FAULTS enables fault injection. */
+bool envFaultsEnabled();
+
+/**
+ * Fault schedule from the environment: empty when disabled, else a
+ * whole-run delivery-drop episode (and, with PROACT_FAULT_DEGRADE, a
+ * whole-run bandwidth-degradation episode), seeded by
+ * PROACT_FAULT_SEED.
+ */
+FaultPlan envFaultPlan();
+
+/**
+ * Retry policy matching envFaultPlan(): enabled iff faults are, with
+ * the PROACT_RETRY_MAX_ATTEMPTS budget applied.
+ */
+RetryPolicy envRetryPolicy();
+/** @} */
 
 } // namespace proact
 

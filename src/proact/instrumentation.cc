@@ -91,7 +91,8 @@ instrumentInline(const GpuPhaseWork &work, MultiGpuSystem &system,
                  int gpu_id, std::uint32_t store_bytes,
                  bool elide_transfers,
                  std::function<void(std::uint64_t)> on_delivered,
-                 StatSet *stats, EventQueue::Callback on_complete)
+                 StatSet *stats, EventQueue::Callback on_complete,
+                 RetryingSender *sender)
 {
     const auto outputs = work.allOutputs();
     if (outputs.empty())
@@ -113,7 +114,7 @@ instrumentInline(const GpuPhaseWork &work, MultiGpuSystem &system,
 
     launch.onCtaComplete = [&system, gpu_id, store_bytes,
                             elide_transfers, on_delivered, stats,
-                            outputs](int cta) {
+                            outputs, sender](int cta) {
         auto &eq = system.eventQueue();
         std::uint64_t total_bytes = 0;
 
@@ -142,7 +143,10 @@ instrumentInline(const GpuPhaseWork &work, MultiGpuSystem &system,
                 req.writeGranularity = store_bytes;
                 req.threads = 0; // Every producer thread stores.
                 req.onComplete = std::move(deliver);
-                system.fabric().transfer(req);
+                if (sender)
+                    sender->send(std::move(req));
+                else
+                    system.fabric().transfer(req);
             }
         }
         if (stats) {

@@ -92,13 +92,17 @@ instrumentDecoupled(const GpuPhaseWork &work, RegionTracker &tracker,
  * @param elide_transfers Analysis mode: count deliveries instantly
  *        without touching the fabric.
  * @param on_delivered Fires once per (CTA, region, peer) delivery.
+ * @param sender Optional retrying sender (fault-tolerant runs): the
+ *        inline store stream gains the same acknowledged-delivery
+ *        semantics as the decoupled agents. Must outlive the launch.
  */
 KernelLaunch
 instrumentInline(const GpuPhaseWork &work, MultiGpuSystem &system,
                  int gpu_id, std::uint32_t store_bytes,
                  bool elide_transfers,
                  std::function<void(std::uint64_t)> on_delivered,
-                 StatSet *stats, EventQueue::Callback on_complete);
+                 StatSet *stats, EventQueue::Callback on_complete,
+                 RetryingSender *sender = nullptr);
 
 } // namespace proact
 

@@ -79,10 +79,13 @@ ProactRuntime::runPhase(const Phase &phase,
         _options.config.mechanism == TransferMechanism::Inline;
 
     // Per-phase tracking state (one tracker per produced region per
-    // GPU); must outlive eq.run() below.
+    // GPU); must outlive eq.run() below. Inline mode gets a
+    // per-GPU retrying sender when the retry policy is on, giving the
+    // inline store stream the same loss tolerance as the agents.
     std::vector<std::vector<std::unique_ptr<RegionTracker>>>
         trackers(n);
     std::vector<std::unique_ptr<TransferAgent>> agents(n);
+    std::vector<std::unique_ptr<RetryingSender>> senders(n);
 
     std::uint64_t expected_deliveries = 0;
     std::uint64_t seen_deliveries = 0;
@@ -120,10 +123,18 @@ ProactRuntime::runPhase(const Phase &phase,
             expected_deliveries +=
                 static_cast<std::uint64_t>(work.kernel.numCtas)
                 * outputs.size() * (n - 1);
+            RetryingSender *sender = nullptr;
+            if (_options.config.retry.enabled) {
+                senders[g] = std::make_unique<RetryingSender>(
+                    _system.eventQueue(), _system.fabric(),
+                    _options.config.retry, &_stats,
+                    _system.trace());
+                sender = senders[g].get();
+            }
             launches.push_back(instrumentInline(
                 work, _system, g, traffic.inlineStoreBytes,
                 _options.elideTransfers, on_delivered, &_stats,
-                on_kernel_done));
+                on_kernel_done, sender));
             continue;
         }
 

@@ -47,7 +47,7 @@ TransferAgent::pushToPeers(std::uint64_t bytes, Tick not_before,
         req.threads = threads;
         req.notBefore = start;
         req.onComplete = std::move(deliver);
-        last = std::max(last, system.fabric().transfer(req));
+        last = std::max(last, _sender.send(std::move(req)));
     }
 
     bumpStat("chunks_pushed");

@@ -21,6 +21,7 @@
 #ifndef PROACT_PROACT_TRANSFER_AGENT_HH
 #define PROACT_PROACT_TRANSFER_AGENT_HH
 
+#include "faults/retry.hh"
 #include "proact/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -58,7 +59,14 @@ class TransferAgent
         StatSet *stats = nullptr;
     };
 
-    explicit TransferAgent(Context ctx) : _ctx(std::move(ctx)) {}
+    explicit TransferAgent(Context ctx)
+        : _ctx(std::move(ctx)),
+          _sender(_ctx.system->eventQueue(), _ctx.system->fabric(),
+                  _ctx.config.retry, _ctx.stats,
+                  _ctx.system->trace())
+    {
+    }
+
     virtual ~TransferAgent() = default;
 
     TransferAgent(const TransferAgent &) = delete;
@@ -80,11 +88,20 @@ class TransferAgent
 
     const Context &context() const { return _ctx; }
 
+    /** The agent's retrying sender (for fault-injection tests). */
+    const RetryingSender &sender() const { return _sender; }
+
   protected:
     /**
      * Push one chunk to every peer starting no earlier than
      * @p not_before, using @p threads transfer threads (0 = engine).
-     * @return Tick of the last peer delivery.
+     *
+     * When the retry policy is enabled, each per-peer push is an
+     * acknowledged delivery: lost chunks are re-pushed with backoff
+     * and eventually fall back to the reliable bulk path.
+     *
+     * @return Tick of the last peer's first-attempt delivery (retries
+     *         may land later; onDelivered fires exactly once each).
      */
     Tick pushToPeers(std::uint64_t bytes, Tick not_before,
                      std::uint32_t threads);
@@ -92,6 +109,7 @@ class TransferAgent
     void bumpStat(const std::string &name, double delta = 1.0);
 
     Context _ctx;
+    RetryingSender _sender;
 };
 
 /** Persistent polling kernel (warp-specialized transfer loop). */

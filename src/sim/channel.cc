@@ -7,7 +7,7 @@ namespace proact {
 
 Channel::Channel(EventQueue &eq, std::string name, double bytes_per_sec,
                  Tick latency)
-    : _eq(eq), _name(std::move(name)), _rate(bytes_per_sec),
+    : _eq(eq), _name(std::move(name)), _nominalRate(bytes_per_sec),
       _latency(latency)
 {
     if (bytes_per_sec <= 0.0)
@@ -21,7 +21,16 @@ Channel::setRate(double bytes_per_sec)
     if (bytes_per_sec <= 0.0)
         throw std::invalid_argument("Channel rate must be positive: "
                                     + _name);
-    _rate = bytes_per_sec;
+    _nominalRate = bytes_per_sec;
+}
+
+void
+Channel::setRateScale(double scale)
+{
+    if (scale <= 0.0 || scale > 1.0)
+        throw std::invalid_argument("Channel rate scale must be in "
+                                    "(0, 1]: " + _name);
+    _rateScale = scale;
 }
 
 Tick
@@ -44,7 +53,7 @@ Channel::submitAfter(Tick not_before, std::uint64_t wire_bytes,
                      EventQueue::Callback on_delivered)
 {
     const Tick start = nextStart(not_before);
-    const Tick service = transferTicks(wire_bytes, _rate);
+    const Tick service = transferTicks(wire_bytes, rate());
     const Tick service_end = start + service;
     const Tick delivered = service_end + _latency;
 

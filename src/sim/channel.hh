@@ -78,10 +78,24 @@ class Channel
 
     const std::string &name() const { return _name; }
 
-    double rate() const { return _rate; }
+    /** Effective service rate (nominal rate x fault scale). */
+    double rate() const { return _nominalRate * _rateScale; }
 
-    /** Change the service rate; affects only future submissions. */
+    /** Healthy service rate, unaffected by fault scaling. */
+    double nominalRate() const { return _nominalRate; }
+
+    /** Change the nominal rate; affects only future submissions. */
     void setRate(double bytes_per_sec);
+
+    /**
+     * Scale the effective rate without forgetting the nominal one
+     * (fault injection: a degraded link runs at scale x nominal until
+     * the episode ends and the scale returns to 1.0). Affects only
+     * future submissions.
+     */
+    void setRateScale(double scale);
+
+    double rateScale() const { return _rateScale; }
 
     /** Fixed post-service delivery latency. */
     Tick latency() const { return _latency; }
@@ -106,7 +120,8 @@ class Channel
   private:
     EventQueue &_eq;
     std::string _name;
-    double _rate;
+    double _nominalRate;
+    double _rateScale = 1.0;
     Tick _latency;
 
     Tick _busyUntil = 0;

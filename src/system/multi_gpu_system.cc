@@ -28,12 +28,29 @@ MultiGpuSystem::setFunctional(bool functional)
         g->setFunctional(functional);
 }
 
+FaultInjector &
+MultiGpuSystem::installFaults(FaultPlan plan)
+{
+    if (_faults)
+        fatalError("MultiGpuSystem: faults already installed");
+    _faults = std::make_unique<FaultInjector>(_eq, *_fabric,
+                                              std::move(plan));
+    for (int g = 0; g < numGpus(); ++g)
+        _faults->addDmaEngine(g, *_dmas[g]);
+    _faults->setTrace(_trace);
+    _faults->arm();
+    return *_faults;
+}
+
 void
 MultiGpuSystem::setTrace(Trace *trace)
 {
+    _trace = trace;
     for (auto &g : _gpus)
         g->setTrace(trace);
     _fabric->setTrace(trace);
+    if (_faults)
+        _faults->setTrace(trace);
 }
 
 void
@@ -64,6 +81,12 @@ MultiGpuSystem::dumpStats(std::ostream &os)
     if (fabric.hasCore()) {
         os << "  core.util = " << fabric.core().utilization(now)
            << "\n";
+    }
+    if (_faults) {
+        os << "faults:\n";
+        _faults->stats().dump(os, "  ");
+        os << "  fabric.dropped_deliveries = "
+           << fabric.droppedDeliveries() << "\n";
     }
 }
 

@@ -12,6 +12,8 @@
 #ifndef PROACT_SYSTEM_MULTI_GPU_SYSTEM_HH
 #define PROACT_SYSTEM_MULTI_GPU_SYSTEM_HH
 
+#include "faults/fault_injector.hh"
+#include "faults/fault_plan.hh"
 #include "gpu/dma_engine.hh"
 #include "gpu/gpu.hh"
 #include "interconnect/interconnect.hh"
@@ -84,6 +86,21 @@ class MultiGpuSystem
     /** Toggle timing-only mode on every GPU. */
     void setFunctional(bool functional);
 
+    /**
+     * Arm a fault schedule on this system: the injector registers
+     * every DMA engine, installs the fabric fault filter, and
+     * schedules the plan's episode boundaries. PROACT runs on a
+     * faulted system need retry enabled (TransferConfig::retry) or
+     * lost deliveries will be reported as missing at phase end.
+     *
+     * @return The owned injector (for stats/trace access).
+     */
+    FaultInjector &installFaults(FaultPlan plan);
+
+    /** The armed injector, or nullptr on a fault-free system. */
+    FaultInjector *faults() { return _faults.get(); }
+    const FaultInjector *faults() const { return _faults.get(); }
+
     /** Drain the event queue. */
     void run() { _eq.run(); }
 
@@ -99,13 +116,22 @@ class MultiGpuSystem
      */
     void setTrace(Trace *trace);
 
+    /**
+     * The attached tracer (nullptr when tracing is off). Agents read
+     * this at construction, so attach the trace before building
+     * runtimes that should record retry/fallback spans.
+     */
+    Trace *trace() const { return _trace; }
+
   private:
     PlatformSpec _platform;
     EventQueue _eq;
     std::unique_ptr<Interconnect> _fabric;
     std::vector<std::unique_ptr<Gpu>> _gpus;
     std::vector<std::unique_ptr<DmaEngine>> _dmas;
+    std::unique_ptr<FaultInjector> _faults;
     Host _host;
+    Trace *_trace = nullptr;
 };
 
 } // namespace proact

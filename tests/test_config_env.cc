@@ -110,6 +110,67 @@ TEST(ConfigEnv, MechanismNamesRoundTrip)
     EXPECT_EQ(mechanismCode(TransferMechanism::Hardware), "HW");
 }
 
+TEST(ConfigEnv, FaultsDefaultOff)
+{
+    ScopedEnv off("PROACT_FAULTS", nullptr);
+    EXPECT_FALSE(envFaultsEnabled());
+    EXPECT_TRUE(envFaultPlan().empty());
+    EXPECT_FALSE(envRetryPolicy().enabled);
+
+    ScopedEnv zero("PROACT_FAULTS", "0");
+    EXPECT_FALSE(envFaultsEnabled());
+}
+
+TEST(ConfigEnv, FaultKnobsBuildAPlan)
+{
+    ScopedEnv on("PROACT_FAULTS", "1");
+    ScopedEnv seed("PROACT_FAULT_SEED", "123");
+    ScopedEnv drop("PROACT_FAULT_DROP_RATE", "0.25");
+    ScopedEnv degrade("PROACT_FAULT_DEGRADE", "0.5");
+
+    EXPECT_TRUE(envFaultsEnabled());
+    const FaultPlan plan = envFaultPlan();
+    EXPECT_EQ(plan.seed, 123u);
+    ASSERT_EQ(plan.episodes.size(), 2u);
+    EXPECT_EQ(plan.episodes[0].kind, FaultKind::DeliveryDrop);
+    EXPECT_DOUBLE_EQ(plan.episodes[0].severity, 0.25);
+    EXPECT_EQ(plan.episodes[1].kind, FaultKind::LinkDegrade);
+    EXPECT_DOUBLE_EQ(plan.episodes[1].severity, 0.5);
+    EXPECT_NO_THROW(plan.validate(4));
+    EXPECT_TRUE(envRetryPolicy().enabled);
+}
+
+TEST(ConfigEnv, FaultKnobsClampAndDefault)
+{
+    ScopedEnv on("PROACT_FAULTS", "1");
+    {
+        // Defaults: 1 % drops, no degradation.
+        ScopedEnv drop("PROACT_FAULT_DROP_RATE", nullptr);
+        ScopedEnv degrade("PROACT_FAULT_DEGRADE", nullptr);
+        const FaultPlan plan = envFaultPlan();
+        ASSERT_EQ(plan.episodes.size(), 1u);
+        EXPECT_DOUBLE_EQ(plan.episodes[0].severity, 0.01);
+    }
+    {
+        // Out-of-range values clamp into the valid episode ranges.
+        ScopedEnv drop("PROACT_FAULT_DROP_RATE", "7.0");
+        ScopedEnv degrade("PROACT_FAULT_DEGRADE", "1.0");
+        const FaultPlan plan = envFaultPlan();
+        ASSERT_EQ(plan.episodes.size(), 2u);
+        EXPECT_DOUBLE_EQ(plan.episodes[0].severity, 1.0);
+        EXPECT_DOUBLE_EQ(plan.episodes[1].severity, 0.95);
+        EXPECT_NO_THROW(plan.validate(4));
+    }
+    {
+        ScopedEnv attempts("PROACT_RETRY_MAX_ATTEMPTS", "99");
+        EXPECT_EQ(envRetryPolicy().maxAttempts, 16); // Clamped.
+    }
+    {
+        ScopedEnv attempts("PROACT_RETRY_MAX_ATTEMPTS", "3");
+        EXPECT_EQ(envRetryPolicy().maxAttempts, 3);
+    }
+}
+
 TEST(ConfigEnv, DecoupledPredicate)
 {
     TransferConfig config;

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the fault-injection & resilience subsystem (src/faults):
+ * plan validation, episode scheduling, deterministic seeded drops,
+ * retry/backoff ordering, reliable-path fallback, and end-to-end
+ * survival of every transfer mechanism on a faulty fabric.
+ */
+
+#include "faults/fault_injector.hh"
+#include "faults/fault_plan.hh"
+#include "faults/retry.hh"
+#include "harness/paradigm.hh"
+#include "proact/runtime.hh"
+#include "proact/transfer_agent.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+#include "tests/small_workloads.hh"
+
+#include <gtest/gtest.h>
+
+using namespace proact;
+using namespace proact::test;
+
+namespace {
+
+/** Agent-level harness mirroring tests/test_agents.cc. */
+struct FaultHarness
+{
+    MultiGpuSystem system;
+    int deliveries = 0;
+    Tick lastDelivery = 0;
+    StatSet stats;
+
+    explicit FaultHarness(const PlatformSpec &platform = voltaPlatform())
+        : system(platform)
+    {
+    }
+
+    TransferAgent::Context
+    context(TransferMechanism mech, RetryPolicy retry = {})
+    {
+        TransferAgent::Context ctx;
+        ctx.system = &system;
+        ctx.gpuId = 0;
+        ctx.config.mechanism = mech;
+        ctx.config.chunkBytes = 128 * KiB;
+        ctx.config.transferThreads = 2048;
+        ctx.config.retry = retry;
+        ctx.stats = &stats;
+        ctx.onDelivered = [this](std::uint64_t) {
+            ++deliveries;
+            lastDelivery = system.now();
+        };
+        return ctx;
+    }
+
+    int peers() const { return system.numGpus() - 1; }
+};
+
+RetryPolicy
+testRetry(int max_attempts = 5)
+{
+    RetryPolicy policy;
+    policy.enabled = true;
+    policy.maxAttempts = max_attempts;
+    return policy;
+}
+
+} // namespace
+
+TEST(FaultPlanTest, ValidateRejectsNonsense)
+{
+    {
+        FaultPlan plan;
+        plan.dropDeliveries(100, 100, 0.5); // Empty window.
+        EXPECT_THROW(plan.validate(4), FatalError);
+    }
+    {
+        FaultPlan plan;
+        plan.dropDeliveries(0, maxTick, 1.5); // Probability > 1.
+        EXPECT_THROW(plan.validate(4), FatalError);
+    }
+    {
+        FaultPlan plan;
+        plan.degradeLink(0, maxTick, 1.0); // Fully dead != degrade.
+        EXPECT_THROW(plan.validate(4), FatalError);
+    }
+    {
+        FaultPlan plan;
+        plan.downLink(0, maxTick, 7, 1); // GPU 7 of 4.
+        EXPECT_THROW(plan.validate(4), FatalError);
+    }
+    {
+        FaultPlan plan;
+        plan.downLink(0, maxTick, 2, 2); // src == dst.
+        EXPECT_THROW(plan.validate(4), FatalError);
+    }
+    {
+        FaultPlan plan;
+        plan.delayDeliveries(0, maxTick, 0); // Zero spike.
+        EXPECT_THROW(plan.validate(4), FatalError);
+    }
+    {
+        FaultPlan plan;
+        plan.dropDeliveries(0, maxTick, 0.01)
+            .degradeLink(ticksPerMicrosecond, 2 * ticksPerMicrosecond,
+                         0.5, 0, 1)
+            .stallDma(0, 100, 3);
+        EXPECT_NO_THROW(plan.validate(4));
+    }
+}
+
+TEST(FaultPlanTest, DescribeAndKindNames)
+{
+    EXPECT_EQ(faultKindName(FaultKind::LinkDegrade), "degrade");
+    EXPECT_EQ(faultKindName(FaultKind::DeliveryDrop), "drop");
+
+    FaultPlan plan;
+    plan.dropDeliveries(0, maxTick, 0.25, -1, 2);
+    EXPECT_EQ(plan.episodes.at(0).describe(), "drop p=0.25 gpu*->gpu2");
+    plan.stallDma(0, 10, 1);
+    EXPECT_EQ(plan.episodes.at(1).describe(), "dma-stall gpu1");
+}
+
+TEST(FaultInjectorTest, DegradeWindowSlowsAndRestores)
+{
+    const Tick window_end = 10 * ticksPerMillisecond;
+
+    auto run_one = [&](bool degraded) {
+        FaultHarness h;
+        if (degraded) {
+            FaultPlan plan;
+            plan.degradeLink(0, window_end, 0.5);
+            h.system.installFaults(std::move(plan));
+        }
+        HardwareAgent agent(h.context(TransferMechanism::Hardware));
+        agent.chunkReady(0, 4 * MiB);
+        h.system.run();
+        return std::pair<Tick, double>(
+            h.lastDelivery, h.system.fabric().egress(0).rateScale());
+    };
+
+    const auto [healthy_tick, healthy_scale] = run_one(false);
+    const auto [degraded_tick, degraded_scale] = run_one(true);
+
+    // Half the bandwidth must slow the bulk of the transfer down.
+    EXPECT_GT(degraded_tick, healthy_tick);
+    EXPECT_DOUBLE_EQ(healthy_scale, 1.0);
+    // The end boundary restored the nominal rate.
+    EXPECT_DOUBLE_EQ(degraded_scale, 1.0);
+}
+
+TEST(FaultInjectorTest, DegradeStatsAndEpisodeScheduling)
+{
+    FaultHarness h;
+    FaultPlan plan;
+    plan.degradeLink(ticksPerMicrosecond, 2 * ticksPerMicrosecond,
+                     0.9);
+    FaultInjector &inj = h.system.installFaults(std::move(plan));
+
+    auto &eq = h.system.eventQueue();
+    // Before the window: nominal.
+    eq.runUntil(ticksPerMicrosecond - 1);
+    EXPECT_DOUBLE_EQ(h.system.fabric().egress(0).rateScale(), 1.0);
+    // Inside: scaled.
+    eq.runUntil(ticksPerMicrosecond);
+    EXPECT_DOUBLE_EQ(h.system.fabric().egress(0).rateScale(), 0.1);
+    EXPECT_DOUBLE_EQ(inj.stats().get("faults.degrade_windows"), 1.0);
+    EXPECT_DOUBLE_EQ(inj.stats().get("faults.injected"), 1.0);
+    // After: restored.
+    eq.runUntil(2 * ticksPerMicrosecond);
+    EXPECT_DOUBLE_EQ(h.system.fabric().egress(0).rateScale(), 1.0);
+}
+
+TEST(FaultInjectorTest, DroppedDeliveriesAreRetriedAndLand)
+{
+    FaultHarness h;
+    FaultPlan plan;
+    // Everything is lost for the first 20 us, then the fabric heals.
+    plan.downLink(0, 20 * ticksPerMicrosecond);
+    h.system.installFaults(std::move(plan));
+
+    HardwareAgent agent(
+        h.context(TransferMechanism::Hardware, testRetry(10)));
+    agent.chunkReady(0, 4 * KiB);
+    h.system.run();
+
+    EXPECT_EQ(h.deliveries, h.peers());
+    EXPECT_GE(h.lastDelivery, 20 * ticksPerMicrosecond);
+    EXPECT_GT(h.stats.get("transfers.retried"), 0.0);
+    EXPECT_DOUBLE_EQ(h.stats.get("transfers.abandoned"), 0.0);
+    EXPECT_GT(h.system.faults()->stats().get("faults.dropped"), 0.0);
+    EXPECT_EQ(h.system.fabric().droppedDeliveries(),
+              static_cast<std::uint64_t>(
+                  h.system.faults()->stats().get("faults.dropped")));
+}
+
+TEST(FaultInjectorTest, RetryBackoffSpacingGrows)
+{
+    FaultHarness h;
+    Trace trace;
+    h.system.setTrace(&trace);
+
+    FaultPlan plan;
+    plan.downLink(0, maxTick, 0, 1); // gpu0 -> gpu1 dead forever.
+    h.system.installFaults(std::move(plan));
+
+    HardwareAgent agent(
+        h.context(TransferMechanism::Hardware, testRetry(4)));
+    agent.chunkReady(0, 1 * KiB);
+    h.system.run();
+
+    // Only the gpu0->gpu1 transfers are lost; the budget (4 attempts)
+    // is spent, then the reliable fallback lands the payload.
+    EXPECT_EQ(h.deliveries, h.peers());
+    EXPECT_DOUBLE_EQ(h.stats.get("transfers.retried"), 3.0);
+    EXPECT_DOUBLE_EQ(h.stats.get("transfers.abandoned"), 1.0);
+    EXPECT_DOUBLE_EQ(h.stats.get("fallback.activations"), 1.0);
+
+    // Retry spans record each lost attempt's submission; the gaps
+    // between consecutive submissions widen (exponential backoff).
+    const auto retries = trace.byCategory("retry");
+    ASSERT_EQ(retries.size(), 4u);
+    std::vector<Tick> gaps;
+    for (std::size_t i = 1; i < retries.size(); ++i) {
+        ASSERT_GT(retries[i].start, retries[i - 1].start);
+        gaps.push_back(retries[i].start - retries[i - 1].start);
+    }
+    for (std::size_t i = 1; i < gaps.size(); ++i)
+        EXPECT_GT(gaps[i], gaps[i - 1]);
+
+    ASSERT_EQ(trace.byCategory("fallback").size(), 1u);
+}
+
+TEST(FaultInjectorTest, FallbackSurvivesAPermanentlyDeadLink)
+{
+    FaultHarness h;
+    FaultPlan plan;
+    plan.downLink(0, maxTick); // Nothing from gpu0 ever arrives.
+    h.system.installFaults(std::move(plan));
+
+    HardwareAgent agent(
+        h.context(TransferMechanism::Hardware, testRetry(2)));
+    agent.chunkReady(0, 64 * KiB);
+    h.system.run();
+
+    // Degraded mode: every peer is reached via the reliable path.
+    EXPECT_EQ(h.deliveries, h.peers());
+    EXPECT_DOUBLE_EQ(h.stats.get("transfers.abandoned"),
+                     static_cast<double>(h.peers()));
+    EXPECT_DOUBLE_EQ(h.stats.get("fallback.activations"),
+                     static_cast<double>(h.peers()));
+}
+
+TEST(FaultInjectorTest, DelaySpikesShiftDeliveryExactly)
+{
+    const Tick spike = 10 * ticksPerMicrosecond;
+
+    auto last_delivery = [&](bool delayed) {
+        FaultHarness h;
+        if (delayed) {
+            FaultPlan plan;
+            plan.delayDeliveries(0, maxTick, spike);
+            h.system.installFaults(std::move(plan));
+        }
+        HardwareAgent agent(h.context(TransferMechanism::Hardware));
+        agent.chunkReady(0, 4 * KiB);
+        h.system.run();
+        EXPECT_EQ(h.deliveries, h.peers());
+        return h.lastDelivery;
+    };
+
+    EXPECT_EQ(last_delivery(true), last_delivery(false) + spike);
+}
+
+TEST(FaultInjectorTest, DmaStallHoldsCopiesUntilWindowEnds)
+{
+    const Tick window_end = 50 * ticksPerMicrosecond;
+
+    MultiGpuSystem system(voltaPlatform());
+    FaultPlan plan;
+    plan.stallDma(0, window_end, 0);
+    FaultInjector &inj = system.installFaults(std::move(plan));
+
+    Tick stalled_done = 0;
+    Tick free_done = 0;
+    system.dma(0).copyToPeer(1, 4 * KiB,
+                             [&] { stalled_done = system.now(); });
+    system.dma(1).copyToPeer(0, 4 * KiB,
+                             [&] { free_done = system.now(); });
+    system.run();
+
+    EXPECT_GE(stalled_done, window_end);
+    EXPECT_LT(free_done, window_end);
+    EXPECT_DOUBLE_EQ(inj.stats().get("faults.stall_windows"), 1.0);
+}
+
+TEST(FaultInjectorTest, ReliablePathIsExemptFromLoss)
+{
+    MultiGpuSystem system(voltaPlatform());
+    FaultPlan plan;
+    plan.downLink(0, maxTick);
+    system.installFaults(std::move(plan));
+
+    // DMA copies ride the hardware-reliable path: delivered despite
+    // the dead link.
+    bool delivered = false;
+    system.dma(0).copyToPeer(1, 64 * KiB, [&] { delivered = true; });
+    system.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(system.fabric().droppedDeliveries(), 0u);
+}
+
+TEST(FaultInjectorTest, SeededDropsAreDeterministic)
+{
+    auto run_once = [] {
+        FaultHarness h;
+        FaultPlan plan;
+        plan.seed = 42;
+        plan.dropDeliveries(0, maxTick, 0.5);
+        h.system.installFaults(std::move(plan));
+
+        PollingAgent agent(
+            h.context(TransferMechanism::Polling, testRetry(6)));
+        for (int c = 0; c < 32; ++c)
+            agent.chunkReady(c, 16 * KiB);
+        h.system.run();
+
+        EXPECT_EQ(h.deliveries, 32 * h.peers());
+        return std::tuple<Tick, double, double>(
+            h.lastDelivery, h.stats.get("transfers.retried"),
+            h.system.faults()->stats().get("faults.dropped"));
+    };
+
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_GT(std::get<1>(a), 0.0);
+    EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, ArmTwiceIsFatal)
+{
+    MultiGpuSystem system(voltaPlatform());
+    FaultPlan plan;
+    plan.dropDeliveries(0, maxTick, 0.1);
+    FaultInjector &inj = system.installFaults(std::move(plan));
+    EXPECT_THROW(inj.arm(), FatalError);
+    EXPECT_THROW(system.installFaults(FaultPlan{}), FatalError);
+}
+
+/**
+ * The acceptance scenario: a seeded plan with delivery drops and a
+ * 50 % bandwidth-degradation window; all four transfer mechanisms
+ * complete a functional workload with verified numerics (SSSP checks
+ * bitwise against its serial reference, so results match the
+ * fault-free run), non-zero retries, and no hang.
+ */
+class FaultedMechanismSweep
+    : public ::testing::TestWithParam<TransferMechanism>
+{
+  protected:
+    static FaultPlan
+    acceptancePlan()
+    {
+        FaultPlan plan;
+        plan.seed = 7;
+        plan.dropDeliveries(0, maxTick, 0.05);
+        plan.degradeLink(0, 2 * ticksPerMillisecond, 0.5);
+        return plan;
+    }
+};
+
+TEST_P(FaultedMechanismSweep, WorkloadSurvivesWithVerifiedResults)
+{
+    const TransferMechanism mech = GetParam();
+
+    auto run_once = [&] {
+        auto workload = makeSmallWorkload("SSSP");
+        workload->setup(4);
+        MultiGpuSystem system(voltaPlatform());
+        system.installFaults(acceptancePlan());
+
+        ProactRuntime::Options options;
+        options.config.mechanism = mech;
+        options.config.chunkBytes = 4 * KiB;
+        options.config.transferThreads = 2048;
+        options.config.retry = testRetry(6);
+        ProactRuntime runtime(system, options);
+
+        const Tick ticks = runtime.run(*workload);
+        EXPECT_TRUE(workload->verify());
+        EXPECT_GT(runtime.stats().get("transfers.retried"), 0.0);
+        EXPECT_GT(system.faults()->stats().get("faults.dropped"),
+                  0.0);
+        return std::pair<Tick, std::map<std::string, double>>(
+            ticks, runtime.stats().all());
+    };
+
+    // Two runs with the same seed: identical final tick and stats.
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, FaultedMechanismSweep,
+    ::testing::Values(TransferMechanism::Inline,
+                      TransferMechanism::Polling,
+                      TransferMechanism::Cdp,
+                      TransferMechanism::Hardware),
+    [](const auto &info) { return mechanismName(info.param); });
