@@ -54,7 +54,11 @@ main(int argc, char **argv)
                   << std::setprecision(3)
                   << secondsFromTicks(run.ticks) * 1e3
                   << std::setw(10) << std::setprecision(2)
-                  << run.speedup << "\n";
+                  << run.speedup;
+        const std::string faults = run.faultSummary();
+        if (!faults.empty())
+            std::cout << "  [" << faults << "]";
+        std::cout << "\n";
     }
     std::cout << "\nEvery paradigm verified numerically.\n";
     return 0;

@@ -1,5 +1,6 @@
 #include "collectives/collectives.hh"
 
+#include "interconnect/rerouter.hh"
 #include "sim/logging.hh"
 
 #include <algorithm>
@@ -19,15 +20,35 @@ collectiveBackendName(CollectiveBackend backend)
 }
 
 Collectives::Collectives(MultiGpuSystem &system, TransferConfig config)
-    : _system(system), _config(config)
+    : _system(system), _config(config),
+      _sender(system.eventQueue(), system.fabric(), config.retry,
+              &_stats, system.trace())
 {
     if (_config.chunkBytes == 0)
         fatalError("Collectives: zero chunk granularity");
 }
 
 Tick
+Collectives::sendChunk(Interconnect::Request req)
+{
+    // Every chunk flows through the retrying sender (a disabled
+    // policy passes straight to the fabric); with the fault-adaptive
+    // runtime on, the rerouter may additionally detour or split the
+    // chunk around unhealthy links.
+    if (Rerouter *rr = _system.rerouter()) {
+        return rr->send(
+            [this](const Interconnect::Request &leg) {
+                return _sender.send(leg);
+            },
+            std::move(req));
+    }
+    return _sender.send(std::move(req));
+}
+
+Tick
 Collectives::pushPartition(int src, std::uint64_t bytes,
-                           CollectiveBackend backend, Tick not_before)
+                           CollectiveBackend backend, Tick not_before,
+                           const std::shared_ptr<PendingOp> &op)
 {
     const int n = _system.numGpus();
     Tick last = std::max(_system.now(), not_before);
@@ -69,7 +90,13 @@ Collectives::pushPartition(int src, std::uint64_t bytes,
                 _system.fabric().packetModel().maxPayloadBytes;
             req.threads = _config.transferThreads;
             req.notBefore = not_before;
-            last = std::max(last, _system.fabric().transfer(req));
+            ++op->remaining;
+            req.onComplete = [this, op] {
+                ++_chunksDelivered;
+                if (--op->remaining == 0 && op->onComplete)
+                    op->onComplete();
+            };
+            last = std::max(last, sendChunk(std::move(req)));
         }
     }
     return last;
@@ -83,10 +110,14 @@ Collectives::broadcast(int root, std::uint64_t bytes,
     if (root < 0 || root >= _system.numGpus())
         fatalError("Collectives: bad broadcast root ", root);
 
+    auto op = std::make_shared<PendingOp>();
+    op->onComplete = std::move(on_complete);
     const Tick done =
-        pushPartition(root, bytes, backend, _system.now());
-    if (on_complete)
-        _system.eventQueue().schedule(done, std::move(on_complete));
+        pushPartition(root, bytes, backend, _system.now(), op);
+    // Chunked pushes complete the op at the last actual delivery;
+    // DMA (or an empty op) completes at the reliable predicted tick.
+    if (op->remaining == 0 && op->onComplete)
+        _system.eventQueue().schedule(done, std::move(op->onComplete));
     return done;
 }
 
@@ -95,14 +126,16 @@ Collectives::allGather(std::uint64_t bytes_per_gpu,
                        CollectiveBackend backend,
                        EventQueue::Callback on_complete)
 {
+    auto op = std::make_shared<PendingOp>();
+    op->onComplete = std::move(on_complete);
     Tick done = _system.now();
     for (int src = 0; src < _system.numGpus(); ++src) {
         done = std::max(done, pushPartition(src, bytes_per_gpu,
                                             backend,
-                                            _system.now()));
+                                            _system.now(), op));
     }
-    if (on_complete)
-        _system.eventQueue().schedule(done, std::move(on_complete));
+    if (op->remaining == 0 && op->onComplete)
+        _system.eventQueue().schedule(done, std::move(op->onComplete));
     return done;
 }
 

@@ -15,12 +15,15 @@
 #ifndef PROACT_COLLECTIVES_COLLECTIVES_HH
 #define PROACT_COLLECTIVES_COLLECTIVES_HH
 
+#include "faults/retry.hh"
 #include "proact/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 #include "system/multi_gpu_system.hh"
 
 #include <cstdint>
+#include <memory>
 
 namespace proact {
 
@@ -50,12 +53,23 @@ class Collectives
     /**
      * @param config PROACT transport parameters (chunk granularity
      *        and transfer threads; the mechanism field is ignored).
+     *        When config.retry is enabled, every chunked push is an
+     *        acknowledged delivery — lost chunks are re-pushed with
+     *        backoff and eventually fall back to the reliable bulk
+     *        path, so broadcast/all-gather survive faulted fabrics.
      */
     Collectives(MultiGpuSystem &system, TransferConfig config = {});
 
     /**
      * Broadcast @p bytes from @p root to every other GPU.
-     * @return Tick at which the last GPU holds the data.
+     *
+     * With the Proact backend, @p on_complete fires when the last
+     * chunk has *actually* landed (later than the returned tick when
+     * retries were needed); with BulkDma it fires at the returned
+     * (reliable) delivery tick.
+     *
+     * @return Tick at which the last GPU holds the data, assuming no
+     *         delivery is lost (first-attempt prediction).
      */
     Tick broadcast(int root, std::uint64_t bytes,
                    CollectiveBackend backend,
@@ -77,12 +91,32 @@ class Collectives
     static double busBandwidth(std::uint64_t total_payload,
                                Tick ticks);
 
+    /** Chunk deliveries observed (exactly one per chunk x peer). */
+    std::uint64_t chunksDelivered() const { return _chunksDelivered; }
+
+    /** Retry/fallback statistics of the chunked transport. */
+    const StatSet &stats() const { return _stats; }
+
   private:
+    /** Completion bookkeeping of one in-flight operation. */
+    struct PendingOp
+    {
+        std::uint64_t remaining = 0;
+        EventQueue::Callback onComplete;
+    };
+
     MultiGpuSystem &_system;
     TransferConfig _config;
+    RetryingSender _sender;
+    StatSet _stats;
+    std::uint64_t _chunksDelivered = 0;
 
     Tick pushPartition(int src, std::uint64_t bytes,
-                       CollectiveBackend backend, Tick not_before);
+                       CollectiveBackend backend, Tick not_before,
+                       const std::shared_ptr<PendingOp> &op);
+
+    /** Submit one chunk via retry (and the rerouter when enabled). */
+    Tick sendChunk(Interconnect::Request req);
 };
 
 } // namespace proact

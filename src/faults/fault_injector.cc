@@ -119,6 +119,8 @@ void
 FaultInjector::beginEpisode(const FaultEpisode &ep)
 {
     _stats.inc("faults.injected");
+    if (ep.group >= 0 && _begunGroups.insert(ep.group).second)
+        _stats.inc("faults.correlated_groups");
     if (_trace) {
         _trace->record(_eq.curTick(),
                        ep.end == maxTick ? _eq.curTick() : ep.end,

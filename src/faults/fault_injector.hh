@@ -22,6 +22,7 @@
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
+#include <set>
 #include <vector>
 
 namespace proact {
@@ -37,6 +38,8 @@ class DmaEngine;
  *  - faults.delayed:         deliveries that took a delay spike
  *  - faults.degrade_windows: degradation windows that began
  *  - faults.stall_windows:   DMA-stall windows that began
+ *  - faults.correlated_groups: correlated groups that began (counted
+ *    once per group, not per member episode)
  *
  * Trace spans (when attached): category "fault", one span per
  * episode window plus an instant span per dropped delivery (the
@@ -87,6 +90,7 @@ class FaultInjector
     StatSet _stats;
     Trace *_trace = nullptr;
     std::vector<std::pair<int, DmaEngine *>> _dmas;
+    std::set<int> _begunGroups;
     bool _armed = false;
 
     Interconnect::FaultVerdict onTransfer(

@@ -1,7 +1,10 @@
 #include "faults/fault_plan.hh"
 
 #include "sim/logging.hh"
+#include "sim/random.hh"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 namespace proact {
@@ -54,6 +57,8 @@ FaultEpisode::describe() const
         oss << " gpu" << endpoint(gpu);
     else
         oss << " gpu" << endpoint(src) << "->gpu" << endpoint(dst);
+    if (group >= 0)
+        oss << " [group " << group << "]";
     return oss.str();
 }
 
@@ -89,6 +94,22 @@ FaultPlan::validate(int num_gpus) const
           case FaultKind::LinkDown:
           case FaultKind::DmaStall:
             break;
+        }
+    }
+
+    // Correlated episodes model ONE physical event; a group whose
+    // members disagree on the window would be two events wearing one
+    // id, which breaks replay reasoning.
+    std::map<int, std::pair<Tick, Tick>> windows;
+    for (const FaultEpisode &ep : episodes) {
+        if (ep.group < 0)
+            continue;
+        auto [it, inserted] = windows.emplace(
+            ep.group, std::make_pair(ep.start, ep.end));
+        if (!inserted && (it->second.first != ep.start ||
+                          it->second.second != ep.end)) {
+            fatalError("FaultPlan: group ", ep.group,
+                       " episodes disagree on the fault window");
         }
     }
 }
@@ -161,6 +182,115 @@ FaultPlan::stallDma(Tick start, Tick end, int gpu)
     ep.gpu = gpu;
     episodes.push_back(ep);
     return *this;
+}
+
+FaultPlan &
+FaultPlan::addPlane(FaultEpisode proto, const std::vector<int> &gpus)
+{
+    if (gpus.size() < 2)
+        fatalError("FaultPlan: a plane needs at least 2 GPUs, got ",
+                   gpus.size());
+    proto.group = _nextGroup++;
+    for (int s : gpus) {
+        for (int d : gpus) {
+            if (s == d)
+                continue;
+            proto.src = s;
+            proto.dst = d;
+            episodes.push_back(proto);
+        }
+    }
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::downPlane(Tick start, Tick end, const std::vector<int> &gpus)
+{
+    FaultEpisode proto;
+    proto.kind = FaultKind::LinkDown;
+    proto.start = start;
+    proto.end = end;
+    return addPlane(proto, gpus);
+}
+
+FaultPlan &
+FaultPlan::degradePlane(Tick start, Tick end, double fraction,
+                        const std::vector<int> &gpus)
+{
+    FaultEpisode proto;
+    proto.kind = FaultKind::LinkDegrade;
+    proto.start = start;
+    proto.end = end;
+    proto.severity = fraction;
+    return addPlane(proto, gpus);
+}
+
+FaultPlan
+randomFaultPlan(std::uint64_t seed, int num_gpus,
+                const RandomFaultOptions &options)
+{
+    if (num_gpus < 2)
+        fatalError("randomFaultPlan: needs at least 2 GPUs, got ",
+                   num_gpus);
+    if (options.latestStart < options.earliestStart ||
+        options.maxDuration < options.minDuration ||
+        options.minDuration == 0) {
+        fatalError("randomFaultPlan: inverted or empty ranges");
+    }
+
+    FaultPlan plan;
+    plan.seed = seed;
+    Rng rng(seed);
+
+    auto draw_window = [&](Tick &start, Tick &end) {
+        start = options.earliestStart +
+            rng.below(options.latestStart - options.earliestStart + 1);
+        end = start + options.minDuration +
+            rng.below(options.maxDuration - options.minDuration + 1);
+    };
+    auto draw_severity = [&] {
+        const double f = options.minSeverity +
+            rng.uniform() * (options.maxSeverity - options.minSeverity);
+        return std::clamp(f, 0.01, 0.99);
+    };
+
+    for (int i = 0; i < options.numEvents; ++i) {
+        Tick start, end;
+        draw_window(start, end);
+
+        if (rng.uniform() < options.planeProbability && num_gpus > 2) {
+            // Correlated plane: a distinct random subset of GPUs.
+            const int size = std::clamp(options.planeSize, 2, num_gpus);
+            std::vector<int> gpus(num_gpus);
+            for (int g = 0; g < num_gpus; ++g)
+                gpus[g] = g;
+            for (int k = 0; k < size; ++k) {
+                const int j = k + static_cast<int>(
+                    rng.below(gpus.size() - k));
+                std::swap(gpus[k], gpus[j]);
+            }
+            gpus.resize(size);
+            std::sort(gpus.begin(), gpus.end());
+            if (rng.uniform() < options.downProbability)
+                plan.downPlane(start, end, gpus);
+            else
+                plan.degradePlane(start, end, draw_severity(), gpus);
+            continue;
+        }
+
+        // Single directed link.
+        const int src = static_cast<int>(rng.below(num_gpus));
+        int dst = static_cast<int>(rng.below(num_gpus - 1));
+        if (dst >= src)
+            ++dst;
+        if (rng.uniform() < options.downProbability)
+            plan.downLink(start, end, src, dst);
+        else
+            plan.degradeLink(start, end, draw_severity(), src, dst);
+    }
+
+    plan.validate(num_gpus);
+    return plan;
 }
 
 } // namespace proact

@@ -71,6 +71,13 @@ struct FaultEpisode
     /** DeliveryDelay: spike added to the delivery tick. */
     Tick delay = 0;
 
+    /**
+     * Correlation group: episodes born from one physical event (an
+     * NVSwitch plane dying takes out every port pair riding it) share
+     * a group id and must share a window. -1 = independent episode.
+     */
+    int group = -1;
+
     bool active(Tick t) const { return t >= start && t < end; }
 
     bool
@@ -115,7 +122,69 @@ struct FaultPlan
                                int src = -1, int dst = -1);
     FaultPlan &stallDma(Tick start, Tick end, int gpu = -1);
     /** @} */
+
+    /**
+     * @{ @name Correlated (grouped) episode builders
+     *
+     * A "plane" failure models one switch plane or backplane event
+     * taking out every directed link among @p gpus at once: one
+     * episode per ordered pair, all sharing a fresh correlation
+     * group and the same [start, end) window.
+     */
+    FaultPlan &downPlane(Tick start, Tick end,
+                         const std::vector<int> &gpus);
+    FaultPlan &degradePlane(Tick start, Tick end, double fraction,
+                            const std::vector<int> &gpus);
+    /** @} */
+
+    /** Number of distinct correlation groups in the plan. */
+    int numGroups() const { return _nextGroup; }
+
+  private:
+    int _nextGroup = 0;
+
+    /** Expand one grouped plane event to all directed pairs. */
+    FaultPlan &addPlane(FaultEpisode proto,
+                        const std::vector<int> &gpus);
 };
+
+/** Knobs for the seeded random fault-plan generator. */
+struct RandomFaultOptions
+{
+    /** Total number of fault events to generate. */
+    int numEvents = 4;
+
+    /** Window in which event start ticks are drawn. */
+    Tick earliestStart = 0;
+    Tick latestStart = 1000 * ticksPerMicrosecond;
+
+    /** Episode duration range, drawn uniformly. */
+    Tick minDuration = 10 * ticksPerMicrosecond;
+    Tick maxDuration = 200 * ticksPerMicrosecond;
+
+    /** Probability an event is a correlated plane (vs one link). */
+    double planeProbability = 0.25;
+
+    /** GPUs per generated plane (clamped to the system size). */
+    int planeSize = 2;
+
+    /** Degrade severity range, drawn uniformly. */
+    double minSeverity = 0.3;
+    double maxSeverity = 0.9;
+
+    /** Probability a (non-plane) event is LinkDown vs LinkDegrade. */
+    double downProbability = 0.5;
+};
+
+/**
+ * Deterministically generate a valid FaultPlan for @p num_gpus GPUs.
+ *
+ * Same (seed, num_gpus, options) always yields an identical plan, so
+ * randomized fault campaigns replay tick-for-tick. The plan's own
+ * seed is set to @p seed too, fixing probabilistic drop decisions.
+ */
+FaultPlan randomFaultPlan(std::uint64_t seed, int num_gpus,
+                          const RandomFaultOptions &options = {});
 
 } // namespace proact
 

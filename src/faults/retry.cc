@@ -28,11 +28,25 @@ RetryingSender::send(Interconnect::Request req)
     return attempt(req, 1);
 }
 
+namespace {
+
+/** Shared ack-timeout bookkeeping so rebooking can push it out. */
+struct TimeoutState
+{
+    EventId event = 0;
+    Tick when = 0;
+    Tick floor = 0;
+    EventQueue::Callback cb;
+};
+
+} // namespace
+
 Tick
 RetryingSender::attempt(const Interconnect::Request &req,
                         int attempt_no)
 {
     auto acked = std::make_shared<bool>(false);
+    auto tstate = std::make_shared<TimeoutState>();
 
     Interconnect::Request wire = req;
     wire.onComplete = [this, acked, cb = req.onComplete] {
@@ -40,6 +54,21 @@ RetryingSender::attempt(const Interconnect::Request &req,
         --_inFlight;
         if (cb)
             cb();
+    };
+    // Boundary-aware fabrics can move a live delivery when a fault
+    // window re-books wire time mid-flight; follow it with the ack
+    // horizon so a slowed (not lost) delivery never looks like a
+    // loss. The horizon only ever moves out: a delivery that speeds
+    // up simply acks before the (now pessimistic) timeout fires.
+    wire.onRebook = [this, acked, tstate](Tick new_delivered) {
+        if (*acked || tstate->event == 0)
+            return;
+        const Tick want = std::max(new_delivered + 1, tstate->floor);
+        if (want <= tstate->when)
+            return;
+        _eq.deschedule(tstate->event);
+        tstate->when = want;
+        tstate->event = _eq.schedule(want, tstate->cb);
     };
 
     const Tick submit = _eq.curTick();
@@ -55,7 +84,9 @@ RetryingSender::attempt(const Interconnect::Request &req,
     const Tick timeout =
         std::max(predicted + 1, entered + _policy.ackTimeout);
 
-    _eq.schedule(timeout, [this, req, attempt_no, acked, submit] {
+    tstate->floor = entered + _policy.ackTimeout;
+    tstate->when = timeout;
+    tstate->cb = [this, req, attempt_no, acked, submit] {
         if (*acked)
             return;
         --_inFlight;
@@ -74,7 +105,8 @@ RetryingSender::attempt(const Interconnect::Request &req,
         again.notBefore =
             _eq.curTick() + _policy.backoff(attempt_no);
         attempt(again, attempt_no + 1);
-    });
+    };
+    tstate->event = _eq.schedule(timeout, tstate->cb);
 
     return predicted;
 }

@@ -1,6 +1,7 @@
 #include "gpu/dma_engine.hh"
 
 #include "gpu/gpu.hh"
+#include "interconnect/rerouter.hh"
 
 #include <algorithm>
 
@@ -30,6 +31,13 @@ DmaEngine::copyToPeer(int dst_gpu, std::uint64_t bytes,
     // Copy engines retry at the hardware level; a DMA delivery is
     // never lost, only slowed (by stalls or degraded links).
     req.reliable = true;
+    if (_rerouter) {
+        return _rerouter->send(
+            [this](const Interconnect::Request &leg) {
+                return _fabric.transfer(leg);
+            },
+            std::move(req));
+    }
     return _fabric.transfer(req);
 }
 

@@ -21,12 +21,20 @@
 namespace proact {
 
 class Gpu;
+class Rerouter;
 
 /** Per-GPU DMA engine issuing peer-to-peer bulk copies. */
 class DmaEngine
 {
   public:
     DmaEngine(EventQueue &eq, Gpu &gpu, Interconnect &fabric);
+
+    /**
+     * Route future copies through @p rerouter (nullptr restores
+     * direct booking): a copy whose direct link is DOWN detours via a
+     * relay GPU, a DEGRADED one splits across direct + relay.
+     */
+    void setRerouter(Rerouter *rerouter) { _rerouter = rerouter; }
 
     /**
      * Start a bulk copy of @p bytes from this GPU to @p dst_gpu.
@@ -59,6 +67,7 @@ class DmaEngine
     EventQueue &_eq;
     Gpu &_gpu;
     Interconnect &_fabric;
+    Rerouter *_rerouter = nullptr;
     std::uint64_t _numCopies = 0;
     std::uint64_t _bytesCopied = 0;
     Tick _stalledUntil = 0;

@@ -34,7 +34,8 @@ allParadigms()
 
 std::unique_ptr<Runtime>
 makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
-            const TransferConfig &config)
+            const TransferConfig &config,
+            AdaptiveReprofiler *reprofiler)
 {
     switch (paradigm) {
       case Paradigm::CudaMemcpy:
@@ -47,6 +48,8 @@ makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
         // policy so fault-tolerant sweeps cover it too.
         options.config = config;
         options.config.mechanism = TransferMechanism::Inline;
+        // The reprofiler sweeps decoupled configurations only; a
+        // hot-swap out of inline mid-run is not modeled.
         return std::make_unique<ProactRuntime>(system, options);
       }
       case Paradigm::ProactDecoupled: {
@@ -54,6 +57,7 @@ makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
         options.config = config;
         if (!options.config.decoupled())
             options.config.mechanism = TransferMechanism::Polling;
+        options.reprofiler = reprofiler;
         return std::make_unique<ProactRuntime>(system, options);
       }
       case Paradigm::InfiniteBw:

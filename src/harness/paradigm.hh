@@ -34,16 +34,22 @@ std::string paradigmName(Paradigm paradigm);
 /** All paradigms in the paper's Figure 7 presentation order. */
 std::vector<Paradigm> allParadigms();
 
+class AdaptiveReprofiler;
+
 /**
  * Build a runtime executing @p paradigm on @p system.
  *
  * @param config Transfer configuration for ProactDecoupled (ignored
  *        by the other paradigms; a non-decoupled mechanism falls
  *        back to polling).
+ * @param reprofiler Optional fault-adaptive reprofiler, consulted at
+ *        iteration boundaries by the PROACT runtimes (ignored by the
+ *        baselines). Not owned; may be nullptr.
  */
 std::unique_ptr<Runtime>
 makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
-            const TransferConfig &config = {});
+            const TransferConfig &config = {},
+            AdaptiveReprofiler *reprofiler = nullptr);
 
 } // namespace proact
 

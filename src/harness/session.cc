@@ -1,9 +1,34 @@
 #include "harness/session.hh"
 
 #include "baselines/runner.hh"
+#include "proact/reprofiler.hh"
+#include "proact/runtime.hh"
 #include "sim/logging.hh"
 
+#include <sstream>
+
 namespace proact {
+
+std::string
+ParadigmRun::faultSummary() const
+{
+    std::ostringstream oss;
+    auto field = [&](const char *name, std::uint64_t value) {
+        if (value == 0)
+            return;
+        if (oss.tellp() > 0)
+            oss << " ";
+        oss << name << "=" << value;
+    };
+    field("dropped", faultsDropped);
+    field("retries", retries);
+    field("fallbacks", fallbacks);
+    field("transitions", linkTransitions);
+    field("reroutes", reroutes);
+    field("sweeps", reprofileSweeps);
+    field("swaps", configSwaps);
+    return oss.str();
+}
 
 Session::Session(PlatformSpec platform)
     : _platform(std::move(platform))
@@ -20,7 +45,8 @@ Session::profile(Workload &workload,
 
 ParadigmRun
 Session::run(Workload &workload, Paradigm paradigm,
-             const TransferConfig &config, bool functional)
+             const TransferConfig &config, bool functional,
+             const WorkloadFactory &reprofile_factory)
 {
     MultiGpuSystem system(_platform);
     system.setFunctional(functional);
@@ -28,14 +54,34 @@ Session::run(Workload &workload, Paradigm paradigm,
     // PROACT_FAULTS=1 turns any session run into a fault-injection
     // run: the env-described plan is armed on the fresh system and
     // the PROACT paths get the matching retry policy (a lossy fabric
-    // without acknowledged delivery would lose deliveries).
+    // without acknowledged delivery would lose deliveries). The
+    // fault-adaptive layers stack on top, each behind its own knob.
     TransferConfig effective = config;
+    std::unique_ptr<AdaptiveReprofiler> reprofiler;
     if (envFaultsEnabled()) {
         system.installFaults(envFaultPlan());
         effective.retry = envRetryPolicy();
+        if (envHealthEnabled()) {
+            system.enableHealth();
+            // Boundary-aware bookings: in-flight transfers follow
+            // degradation windows instead of keeping their stale
+            // delivery tick.
+            system.fabric().setRebooking(true);
+        }
+        if (envRerouteEnabled())
+            system.enableReroute();
+        if (envReprofileEnabled() && reprofile_factory &&
+            paradigm == Paradigm::ProactDecoupled) {
+            TransferConfig initial = effective;
+            if (!initial.decoupled())
+                initial.mechanism = TransferMechanism::Polling;
+            reprofiler = std::make_unique<AdaptiveReprofiler>(
+                system, reprofile_factory, initial);
+        }
     }
 
-    auto runtime = makeRuntime(paradigm, system, effective);
+    auto runtime =
+        makeRuntime(paradigm, system, effective, reprofiler.get());
 
     ParadigmRun result;
     result.paradigm = paradigm;
@@ -44,6 +90,31 @@ Session::run(Workload &workload, Paradigm paradigm,
     result.payloadBytes = system.fabric().totalPayloadBytes();
     result.storeTransactions =
         system.fabric().totalStoreTransactions();
+
+    // Fault-adaptive counters for the summary line.
+    auto u64 = [](double v) {
+        return static_cast<std::uint64_t>(v);
+    };
+    if (const FaultInjector *faults = system.faults())
+        result.faultsDropped = u64(faults->stats().get("faults.dropped"));
+    if (const auto *pr = dynamic_cast<ProactRuntime *>(runtime.get())) {
+        result.retries = u64(pr->stats().get("transfers.retried"));
+        result.fallbacks =
+            u64(pr->stats().get("fallback.activations"));
+        result.configSwaps = u64(pr->stats().get("config_swaps"));
+    }
+    if (const LinkHealthMonitor *health = system.health()) {
+        result.linkTransitions =
+            u64(health->stats().get("health.transitions"));
+    }
+    if (const Rerouter *rerouter = system.rerouter()) {
+        result.reroutes = u64(rerouter->stats().get("reroute.detours")
+                              + rerouter->stats().get("reroute.splits"));
+    }
+    if (reprofiler) {
+        result.reprofileSweeps =
+            u64(reprofiler->stats().get("reprofile.sweeps"));
+    }
 
     if (functional && !workload.verify())
         fatalError("Session: '", workload.name(),
@@ -85,7 +156,8 @@ Session::compareParadigms(const WorkloadFactory &factory,
     for (const Paradigm paradigm : allParadigms()) {
         auto workload = factory(_platform.numGpus);
         ParadigmRun run_result =
-            run(*workload, paradigm, decoupled_cfg, functional);
+            run(*workload, paradigm, decoupled_cfg, functional,
+                factory);
         run_result.speedup = static_cast<double>(single)
             / static_cast<double>(run_result.ticks);
         results.push_back(run_result);

@@ -37,6 +37,27 @@ struct ParadigmRun
     std::uint64_t wireBytes = 0;
     std::uint64_t payloadBytes = 0;
     std::uint64_t storeTransactions = 0;
+
+    /**
+     * @{ @name Fault-adaptive runtime counters
+     * All zero on a fault-free run; harvested from the injector, the
+     * retry layer, the health monitor, the rerouter and the adaptive
+     * reprofiler when those are armed (PROACT_FAULTS and friends).
+     */
+    std::uint64_t faultsDropped = 0;    ///< Deliveries the plan lost.
+    std::uint64_t retries = 0;          ///< Re-pushes after ack loss.
+    std::uint64_t fallbacks = 0;        ///< Reliable-path activations.
+    std::uint64_t linkTransitions = 0;  ///< Health state changes.
+    std::uint64_t reroutes = 0;         ///< Detours + splits applied.
+    std::uint64_t reprofileSweeps = 0;  ///< Narrowed sweeps run.
+    std::uint64_t configSwaps = 0;      ///< Hot-swapped configs.
+    /** @} */
+
+    /**
+     * One-line fault/health digest ("retries=3 reroutes=5 ...");
+     * empty when every fault-adaptive counter is zero.
+     */
+    std::string faultSummary() const;
 };
 
 /** Factory producing fresh, set-up workload instances. */
@@ -61,12 +82,21 @@ class Session
     /**
      * Execute @p workload under @p paradigm on a fresh system.
      *
+     * With PROACT_FAULTS on, the env fault plan is armed and the
+     * enabled fault-adaptive layers (health / reroute / reprofile,
+     * see config.hh) are wired into the fresh system; the run result
+     * carries the fault counters.
+     *
      * @param functional Run the real math (verifiable) or
      *        timing-only (fast).
+     * @param reprofile_factory Builds the short profiling workload
+     *        the adaptive reprofiler re-sweeps on link-state changes;
+     *        without one, re-profiling stays off for this run.
      */
     ParadigmRun run(Workload &workload, Paradigm paradigm,
                     const TransferConfig &config = {},
-                    bool functional = true);
+                    bool functional = true,
+                    const WorkloadFactory &reprofile_factory = {});
 
     /**
      * Full paper-style comparison: profile, run every paradigm, and

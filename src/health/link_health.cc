@@ -1,0 +1,347 @@
+#include "health/link_health.hh"
+
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+namespace proact {
+
+std::string
+LinkHealthMonitor::Transition::describe() const
+{
+    std::ostringstream oss;
+    oss << "t=" << tick << " gpu" << src << "->gpu" << dst << " "
+        << linkStateName(from) << " -> " << linkStateName(to);
+    return oss.str();
+}
+
+LinkHealthMonitor::LinkHealthMonitor(EventQueue &eq,
+                                     Interconnect &fabric,
+                                     HealthPolicy policy)
+    : _eq(eq), _fabric(fabric), _policy(std::move(policy)),
+      _links(static_cast<std::size_t>(fabric.numGpus())
+             * fabric.numGpus())
+{
+    if (_policy.downAfterLosses < 1 ||
+        _policy.recoverAfterDeliveries < 1) {
+        fatalError("LinkHealthMonitor: streak thresholds must be "
+                   "positive");
+    }
+    if (_policy.degradedBwFraction >= _policy.healthyBwFraction) {
+        fatalError("LinkHealthMonitor: hysteresis gap requires "
+                   "degradedBwFraction < healthyBwFraction");
+    }
+
+    _fabric.setDeliveryObserver(
+        [this](const Interconnect::Request &req, Tick start,
+               Tick delivered, bool dropped) {
+            // The hardware-reliable bulk path is fault-exempt by
+            // construction; its deliveries say nothing about the
+            // health of the unprotected fine-grained path, and
+            // counting them would "recover" a link whose payload
+            // only survives via the fallback.
+            if (req.reliable)
+                return;
+            if (dropped) {
+                recordLoss(req.src, req.dst);
+                return;
+            }
+            observe(req.src, req.dst,
+                    _fabric.packetModel().wireBytes(
+                        req.bytes, req.writeGranularity),
+                    req.threads, start, delivered);
+        });
+}
+
+LinkHealthMonitor::~LinkHealthMonitor()
+{
+    _fabric.setDeliveryObserver(nullptr);
+}
+
+std::size_t
+LinkHealthMonitor::index(int src, int dst) const
+{
+    const int n = _fabric.numGpus();
+    if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst)
+        fatalError("LinkHealthMonitor: bad link ", src, " -> ", dst);
+    return static_cast<std::size_t>(src) * n + dst;
+}
+
+LinkHealthMonitor::Link &
+LinkHealthMonitor::link(int src, int dst)
+{
+    return _links[index(src, dst)];
+}
+
+const LinkHealthMonitor::Link &
+LinkHealthMonitor::link(int src, int dst) const
+{
+    return _links[index(src, dst)];
+}
+
+double
+LinkHealthMonitor::nominalBandwidth(int src, int dst) const
+{
+    if (_fabric.pairwise()) {
+        return _fabric.spec().egressRate()
+            / static_cast<double>(_fabric.numGpus() - 1);
+    }
+    (void)src;
+    (void)dst;
+    return _fabric.spec().egressRate();
+}
+
+LinkState
+LinkHealthMonitor::linkState(int src, int dst) const
+{
+    return link(src, dst).state;
+}
+
+double
+LinkHealthMonitor::residualFraction(int src, int dst) const
+{
+    const Link &l = link(src, dst);
+    switch (l.state) {
+      case LinkState::Down:
+        return 0.0;
+      case LinkState::Healthy:
+        return 1.0;
+      case LinkState::Degraded:
+        break;
+    }
+    return std::clamp(l.ewmaFraction, 0.01, 1.0);
+}
+
+Tick
+LinkHealthMonitor::ewmaLatency(int src, int dst) const
+{
+    return static_cast<Tick>(link(src, dst).ewmaLatency);
+}
+
+double
+LinkHealthMonitor::ewmaBandwidth(int src, int dst) const
+{
+    const Link &l = link(src, dst);
+    return l.ewmaFraction * nominalBandwidth(src, dst);
+}
+
+void
+LinkHealthMonitor::addListener(Listener listener)
+{
+    _listeners.push_back(std::move(listener));
+}
+
+void
+LinkHealthMonitor::recordDelivery(int src, int dst,
+                                  std::uint64_t bytes,
+                                  Tick submitted, Tick delivered)
+{
+    observe(src, dst,
+            _fabric.packetModel().wireBytes(
+                bytes, _fabric.packetModel().maxPayloadBytes),
+            0, submitted, delivered);
+}
+
+void
+LinkHealthMonitor::observe(int src, int dst, std::uint64_t wire_bytes,
+                           std::uint32_t threads, Tick start,
+                           Tick delivered)
+{
+    Link &l = link(src, dst);
+    _stats.inc("health.deliveries");
+    ++l.deliveries;
+    l.lossStreak = 0;
+    ++l.deliverStreak;
+
+    // Expected fault-free time of this delivery: wire occupancy at
+    // the thread-capped rate plus the fabric latency. The ratio of
+    // expected to observed time is the link's achieved fraction of
+    // nominal for this sample (1.0 = healthy); queue wait is excluded
+    // because @p start is the service start, not the submission.
+    const double rate = std::min(_fabric.effectiveEgressRate(threads),
+                                 nominalBandwidth(src, dst));
+    const Tick expected =
+        transferTicks(wire_bytes, rate) + _fabric.spec().latency;
+    const Tick actual = delivered > start ? delivered - start : 1;
+    const double fraction =
+        std::min(1.0, static_cast<double>(expected)
+                          / static_cast<double>(actual));
+
+    const double a = _policy.ewmaAlpha;
+    if (l.deliveries == 1) {
+        l.ewmaLatency = static_cast<double>(actual);
+        l.ewmaFraction = fraction;
+    } else {
+        l.ewmaLatency =
+            (1.0 - a) * l.ewmaLatency + a * static_cast<double>(actual);
+        l.ewmaFraction = (1.0 - a) * l.ewmaFraction + a * fraction;
+    }
+
+    reclassify(src, dst);
+}
+
+void
+LinkHealthMonitor::recordLoss(int src, int dst)
+{
+    Link &l = link(src, dst);
+    _stats.inc("health.losses");
+    ++l.losses;
+    ++l.lossStreak;
+    l.deliverStreak = 0;
+    reclassify(src, dst);
+}
+
+void
+LinkHealthMonitor::reclassify(int src, int dst)
+{
+    Link &l = link(src, dst);
+
+    if (l.lossStreak >= _policy.downAfterLosses) {
+        setState(src, dst, LinkState::Down);
+        return;
+    }
+
+    const bool enough_samples =
+        l.deliveries >= static_cast<std::uint64_t>(_policy.minSamples);
+
+    switch (l.state) {
+      case LinkState::Down:
+        // Leave DOWN only after a streak of clean deliveries; land in
+        // DEGRADED or HEALTHY depending on the observed bandwidth.
+        if (l.deliverStreak >= _policy.recoverAfterDeliveries) {
+            setState(src, dst,
+                     l.ewmaFraction < _policy.healthyBwFraction
+                         ? LinkState::Degraded
+                         : LinkState::Healthy);
+        }
+        break;
+      case LinkState::Healthy:
+        if (enough_samples &&
+            l.ewmaFraction < _policy.degradedBwFraction) {
+            setState(src, dst, LinkState::Degraded);
+        }
+        break;
+      case LinkState::Degraded:
+        // Hysteresis: recovery needs both a clean streak and the
+        // bandwidth estimate back above the (higher) exit threshold.
+        if (l.deliverStreak >= _policy.recoverAfterDeliveries &&
+            l.ewmaFraction > _policy.healthyBwFraction) {
+            setState(src, dst, LinkState::Healthy);
+        }
+        break;
+    }
+}
+
+void
+LinkHealthMonitor::setState(int src, int dst, LinkState next)
+{
+    Link &l = link(src, dst);
+    if (l.state == next)
+        return;
+    const LinkState prev = l.state;
+    l.state = next;
+
+    _stats.inc("health.transitions");
+    switch (next) {
+      case LinkState::Down:
+        _stats.inc("health.to_down");
+        break;
+      case LinkState::Degraded:
+        _stats.inc("health.to_degraded");
+        break;
+      case LinkState::Healthy:
+        _stats.inc("health.to_healthy");
+        break;
+    }
+    _transitions.push_back(
+        Transition{_eq.curTick(), src, dst, prev, next});
+
+    if (next == LinkState::Down) {
+        l.probeFailures = 0;
+        scheduleProbe(src, dst);
+    }
+
+    for (const Listener &listener : _listeners)
+        listener(src, dst, prev, next);
+}
+
+void
+LinkHealthMonitor::scheduleProbe(int src, int dst)
+{
+    Link &l = link(src, dst);
+    if (_policy.probeInterval == 0 || l.probeScheduled ||
+        l.probeFailures >= _policy.maxProbeFailures) {
+        return;
+    }
+    l.probeScheduled = true;
+    _eq.scheduleIn(_policy.probeInterval,
+                   [this, src, dst] { sendProbe(src, dst); });
+}
+
+void
+LinkHealthMonitor::sendProbe(int src, int dst)
+{
+    Link &l = link(src, dst);
+    l.probeScheduled = false;
+    if (l.state != LinkState::Down)
+        return; // Recovered through real traffic; probing is moot.
+
+    _stats.inc("health.probes");
+    auto landed = std::make_shared<bool>(false);
+
+    Interconnect::Request req;
+    req.src = src;
+    req.dst = dst;
+    req.bytes = _policy.probeBytes;
+    req.writeGranularity = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(_policy.probeBytes,
+                                _fabric.packetModel().maxPayloadBytes));
+    req.threads = 1;
+    req.onComplete = [landed] { *landed = true; };
+    const Tick predicted = _fabric.transfer(req);
+
+    // The probe's own delivery (or drop) already updated the link via
+    // the fabric observer; this check only paces the probe loop.
+    _eq.schedule(predicted + 1, [this, src, dst, landed] {
+        Link &lk = link(src, dst);
+        if (*landed) {
+            lk.probeFailures = 0;
+        } else {
+            ++lk.probeFailures;
+        }
+        if (lk.state == LinkState::Down)
+            scheduleProbe(src, dst);
+    });
+}
+
+FaultPlan
+LinkHealthMonitor::toFaultPlan() const
+{
+    FaultPlan plan;
+    const int n = _fabric.numGpus();
+    for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            const Link &l = link(s, d);
+            switch (l.state) {
+              case LinkState::Down:
+                plan.downLink(0, maxTick, s, d);
+                break;
+              case LinkState::Degraded: {
+                const double removed = std::clamp(
+                    1.0 - l.ewmaFraction, 0.01, 0.99);
+                plan.degradeLink(0, maxTick, removed, s, d);
+                break;
+              }
+              case LinkState::Healthy:
+                break;
+            }
+        }
+    }
+    return plan;
+}
+
+} // namespace proact

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Online per-link health tracking for the fault-adaptive runtime.
+ *
+ * The LinkHealthMonitor observes every delivery the fabric makes (or
+ * drops) and keeps, per directed GPU pair: an EWMA of delivery
+ * latency, an EWMA of achieved bandwidth, and loss/delivery streak
+ * counters. From those it classifies each link HEALTHY / DEGRADED /
+ * DOWN with hysteresis — a single dropped delivery or one slow
+ * transfer never flips the state, and recovery requires a streak of
+ * clean deliveries — so transient spikes don't make routing flap.
+ *
+ * A link that has been declared DOWN stops carrying payload once the
+ * Rerouter detours around it, so the monitor optionally sends small
+ * probe transfers on DOWN links to discover recovery; probing gives
+ * up after a bounded number of consecutive failures so the event
+ * queue always drains. All decisions are pure functions of the
+ * observation sequence, which the deterministic event queue fixes, so
+ * identical (plan, seed, workload) runs replay tick-for-tick.
+ */
+
+#ifndef PROACT_HEALTH_LINK_HEALTH_HH
+#define PROACT_HEALTH_LINK_HEALTH_HH
+
+#include "faults/fault_plan.hh"
+#include "interconnect/interconnect.hh"
+#include "interconnect/link_state.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace proact {
+
+/** Thresholds of the health state machine. */
+struct HealthPolicy
+{
+    /** EWMA weight of the newest latency / bandwidth sample. */
+    double ewmaAlpha = 0.25;
+
+    /** Consecutive losses before a link is declared DOWN. */
+    int downAfterLosses = 3;
+
+    /** Consecutive clean deliveries before a state may improve. */
+    int recoverAfterDeliveries = 4;
+
+    /**
+     * Enter DEGRADED when EWMA bandwidth falls below this fraction of
+     * nominal; leave it only above healthyBwFraction (hysteresis gap).
+     */
+    double degradedBwFraction = 0.55;
+    double healthyBwFraction = 0.8;
+
+    /** Deliveries needed before bandwidth classification kicks in. */
+    int minSamples = 3;
+
+    /**
+     * Probe period for DOWN links (0 disables probing). Probes are
+     * tiny non-reliable transfers whose only job is to detect that a
+     * link started delivering again.
+     */
+    Tick probeInterval = 20 * ticksPerMicrosecond;
+
+    /** Probe payload on the wire. */
+    std::uint64_t probeBytes = 64;
+
+    /**
+     * Consecutive failed probes before the monitor gives up on a DOWN
+     * link (bounds event-queue lifetime; the link then stays DOWN).
+     */
+    int maxProbeFailures = 16;
+};
+
+/**
+ * Observes one fabric and classifies every directed link.
+ *
+ * Stats (read via stats()):
+ *  - health.transitions:  every state change
+ *  - health.to_down / to_degraded / to_healthy: per target state
+ *  - health.probes:       probe transfers sent
+ *  - health.losses / deliveries: raw observation counts
+ */
+class LinkHealthMonitor : public LinkStateProvider
+{
+  public:
+    /** One recorded state change (for summaries and tests). */
+    struct Transition
+    {
+        Tick tick;
+        int src;
+        int dst;
+        LinkState from;
+        LinkState to;
+
+        std::string describe() const;
+    };
+
+    using Listener =
+        std::function<void(int src, int dst, LinkState from,
+                           LinkState to)>;
+
+    /**
+     * Create the monitor and install itself as the fabric's delivery
+     * observer. The fabric must outlive the monitor.
+     */
+    LinkHealthMonitor(EventQueue &eq, Interconnect &fabric,
+                      HealthPolicy policy = {});
+
+    ~LinkHealthMonitor() override;
+
+    LinkHealthMonitor(const LinkHealthMonitor &) = delete;
+    LinkHealthMonitor &operator=(const LinkHealthMonitor &) = delete;
+
+    /** @{ @name LinkStateProvider */
+    LinkState linkState(int src, int dst) const override;
+    double residualFraction(int src, int dst) const override;
+    /** @} */
+
+    /** Feed one observed delivery (also called by the fabric hook). */
+    void recordDelivery(int src, int dst, std::uint64_t bytes,
+                        Tick submitted, Tick delivered);
+
+    /** Feed one observed loss. */
+    void recordLoss(int src, int dst);
+
+    /** EWMA delivery latency of a link (0 before any delivery). */
+    Tick ewmaLatency(int src, int dst) const;
+
+    /** EWMA achieved bandwidth estimate (bytes/s). */
+    double ewmaBandwidth(int src, int dst) const;
+
+    /** Register a state-change listener (called after the change). */
+    void addListener(Listener listener);
+
+    /** Every state change so far, in tick order. */
+    const std::vector<Transition> &transitions() const
+    {
+        return _transitions;
+    }
+
+    /**
+     * Synthesize a FaultPlan describing the fabric as currently
+     * observed: DOWN links become whole-run down episodes, DEGRADED
+     * links whole-run degradation episodes at the observed residual
+     * fraction. Feeding this plan to the profiler makes "the faulted
+     * platform" just another platform to optimize for.
+     */
+    FaultPlan toFaultPlan() const;
+
+    const HealthPolicy &policy() const { return _policy; }
+
+    StatSet &stats() { return _stats; }
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    struct Link
+    {
+        LinkState state = LinkState::Healthy;
+        double ewmaLatency = 0.0;
+
+        /**
+         * EWMA of the achieved fraction of nominal bandwidth, from
+         * per-delivery expected-vs-actual time ratios (1.0 = nominal).
+         */
+        double ewmaFraction = 1.0;
+
+        int lossStreak = 0;
+        int deliverStreak = 0;
+        std::uint64_t deliveries = 0;
+        std::uint64_t losses = 0;
+        bool probeScheduled = false;
+        int probeFailures = 0;
+    };
+
+    EventQueue &_eq;
+    Interconnect &_fabric;
+    HealthPolicy _policy;
+    StatSet _stats;
+    std::vector<Link> _links;
+    std::vector<Listener> _listeners;
+    std::vector<Transition> _transitions;
+
+    Link &link(int src, int dst);
+    const Link &link(int src, int dst) const;
+    std::size_t index(int src, int dst) const;
+
+    /** Nominal single-pair bandwidth the observations compare against. */
+    double nominalBandwidth(int src, int dst) const;
+
+    /**
+     * Fold one delivery into the link's EWMAs: the achieved fraction
+     * is the ratio of the expected fault-free time (wire bytes at the
+     * thread-capped rate, plus fabric latency) to the observed
+     * service-start-to-delivery time.
+     */
+    void observe(int src, int dst, std::uint64_t wire_bytes,
+                 std::uint32_t threads, Tick start, Tick delivered);
+
+    void setState(int src, int dst, LinkState next);
+    void reclassify(int src, int dst);
+    void scheduleProbe(int src, int dst);
+    void sendProbe(int src, int dst);
+};
+
+} // namespace proact
+
+#endif // PROACT_HEALTH_LINK_HEALTH_HH

@@ -132,7 +132,14 @@ Interconnect::transfer(const Request &req)
         const Tick start = link.nextStart(nb);
         const Tick delivered =
             link.submitAfter(nb, pair_wire_eq, req.bytes);
-        return finishDelivery(req, start, delivered);
+
+        std::vector<Hop> hops;
+        if (_rebooking) {
+            hops.push_back(Hop{&link, link.lastBookingId(),
+                               link.latency(),
+                               delivered - link.latency()});
+        }
+        return finishDelivery(req, start, delivered, std::move(hops));
     }
 
     // Cut-through booking: each hop starts once the previous hop
@@ -142,35 +149,77 @@ Interconnect::transfer(const Request &req)
     const Tick e_end =
         _egress[req.src]->submitAfter(nb, wire_eq, req.bytes);
 
+    std::vector<Hop> hops;
+    if (_rebooking) {
+        hops.push_back(Hop{_egress[req.src].get(),
+                           _egress[req.src]->lastBookingId(),
+                           _spec.latency, e_end});
+    }
+
     Tick c_end = e_start;
     Tick i_nb = e_start;
     if (_core) {
         i_nb = _core->nextStart(e_start);
         c_end = _core->submitAfter(e_start, wire, req.bytes);
+        if (_rebooking) {
+            hops.push_back(Hop{_core.get(), _core->lastBookingId(),
+                               _spec.latency, c_end});
+        }
     }
     const Tick i_delivered =
         _ingress[req.dst]->submitAfter(i_nb, wire, req.bytes);
+    if (_rebooking) {
+        const Tick i_lat = _ingress[req.dst]->latency();
+        hops.push_back(Hop{_ingress[req.dst].get(),
+                           _ingress[req.dst]->lastBookingId(), i_lat,
+                           i_delivered - i_lat});
+    }
 
     const Tick delivered = std::max(
         {e_end + _spec.latency, c_end + _spec.latency, i_delivered});
-    return finishDelivery(req, e_start, delivered);
+    return finishDelivery(req, e_start, delivered, std::move(hops));
 }
 
 Tick
 Interconnect::finishDelivery(const Request &req, Tick start,
-                             Tick delivered)
+                             Tick delivered, std::vector<Hop> hops)
 {
     bool dropped = false;
+    Tick extra_delay = 0;
     if (_faultFilter && !req.reliable) {
         const FaultVerdict verdict = _faultFilter(req, delivered);
         dropped = verdict.drop;
-        delivered += verdict.extraDelay;
+        extra_delay = verdict.extraDelay;
+        delivered += extra_delay;
     }
 
-    if (dropped)
+    if (dropped) {
         ++_droppedDeliveries;
-    else if (req.onComplete)
+    } else if (_rebooking && !hops.empty() &&
+               (req.onComplete || req.onRebook)) {
+        // Track the flight so a mid-run rate change can move its
+        // completion. Dropped deliveries are not tracked: their wire
+        // occupancy still re-times, but there is nothing to fire.
+        const std::uint64_t fid = _nextFlightId++;
+        Flight flight;
+        flight.hops = std::move(hops);
+        flight.extraDelay = extra_delay;
+        flight.delivered = delivered;
+        flight.onComplete = req.onComplete;
+        flight.onRebook = req.onRebook;
+        if (req.onComplete) {
+            flight.event = _eq.schedule(
+                delivered, [this, fid] { completeFlight(fid); });
+        }
+        for (const Hop &hop : flight.hops)
+            _hopIndex[hop.channel][hop.booking] = fid;
+        _flights.emplace(fid, std::move(flight));
+    } else if (req.onComplete) {
         _eq.schedule(delivered, req.onComplete);
+    }
+
+    if (_deliveryObserver)
+        _deliveryObserver(req, start, delivered, dropped);
 
     if (_trace) {
         _trace->record(start, delivered,
@@ -183,6 +232,104 @@ Interconnect::finishDelivery(const Request &req, Tick start,
     // is when the delivery would have completed, which the retry
     // layer uses as its acknowledgement horizon.
     return delivered;
+}
+
+void
+Interconnect::forEachChannel(const std::function<void(Channel &)> &f)
+{
+    for (auto &ch : _egress)
+        f(*ch);
+    for (auto &ch : _ingress)
+        f(*ch);
+    if (_core)
+        f(*_core);
+    for (auto &ch : _pairs) {
+        if (ch)
+            f(*ch);
+    }
+}
+
+void
+Interconnect::setRebooking(bool on)
+{
+    if (on == _rebooking)
+        return;
+    _rebooking = on;
+    forEachChannel([this, on](Channel &ch) {
+        ch.setRebookable(on);
+        if (on) {
+            Channel *cp = &ch;
+            ch.setRebookListener(
+                [this, cp](Channel::BookingId id, Tick end) {
+                    onHopRebooked(cp, id, end);
+                });
+        } else {
+            ch.setRebookListener(nullptr);
+        }
+    });
+    if (!on) {
+        // Pending completion events stay scheduled at their current
+        // ticks; they just can no longer move.
+        _flights.clear();
+        _hopIndex.clear();
+    }
+}
+
+void
+Interconnect::onHopRebooked(Channel *channel,
+                            Channel::BookingId booking,
+                            Tick new_service_end)
+{
+    const auto per_channel = _hopIndex.find(channel);
+    if (per_channel == _hopIndex.end())
+        return;
+    const auto entry = per_channel->second.find(booking);
+    if (entry == per_channel->second.end())
+        return;
+    const auto fit = _flights.find(entry->second);
+    if (fit == _flights.end())
+        return;
+    Flight &flight = fit->second;
+
+    Tick delivered = 0;
+    for (Hop &hop : flight.hops) {
+        if (hop.channel == channel && hop.booking == booking)
+            hop.serviceEnd = new_service_end;
+        delivered = std::max(delivered,
+                             hop.serviceEnd + hop.latencyAdd);
+    }
+    delivered = std::max(delivered + flight.extraDelay,
+                         _eq.curTick());
+    if (delivered == flight.delivered)
+        return;
+
+    flight.delivered = delivered;
+    ++_rebookedDeliveries;
+    if (flight.event != 0) {
+        _eq.deschedule(flight.event);
+        const std::uint64_t fid = entry->second;
+        flight.event = _eq.schedule(
+            delivered, [this, fid] { completeFlight(fid); });
+    }
+    if (flight.onRebook)
+        flight.onRebook(delivered);
+}
+
+void
+Interconnect::completeFlight(std::uint64_t id)
+{
+    const auto fit = _flights.find(id);
+    if (fit == _flights.end())
+        return;
+    EventQueue::Callback cb = std::move(fit->second.onComplete);
+    for (const Hop &hop : fit->second.hops) {
+        const auto per_channel = _hopIndex.find(hop.channel);
+        if (per_channel != _hopIndex.end())
+            per_channel->second.erase(hop.booking);
+    }
+    _flights.erase(fit);
+    if (cb)
+        cb();
 }
 
 std::uint64_t

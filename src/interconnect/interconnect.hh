@@ -23,7 +23,9 @@
 #include "sim/types.hh"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace proact {
@@ -78,6 +80,14 @@ class Interconnect
          * buys guaranteed delivery, not nominal bandwidth.
          */
         bool reliable = false;
+
+        /**
+         * Invoked with the updated delivery tick whenever rebooking
+         * (see setRebooking) moves this transfer's completion after a
+         * mid-flight rate change. Lets the retry layer push its ack
+         * horizon out instead of declaring a slowed delivery lost.
+         */
+        std::function<void(Tick)> onRebook = nullptr;
     };
 
     /** What fault injection decided about one delivery. */
@@ -94,6 +104,16 @@ class Interconnect
      */
     using FaultFilter =
         std::function<FaultVerdict(const Request &, Tick delivered)>;
+
+    /**
+     * Observer of every submission's outcome, called once per
+     * transfer at submission time with the service-start tick, the
+     * (possibly fault-delayed) delivery tick, and whether the fault
+     * filter dropped the delivery. This is the LinkHealthMonitor's
+     * feed; nullptr disables.
+     */
+    using DeliveryObserver = std::function<void(
+        const Request &, Tick start, Tick delivered, bool dropped)>;
 
     Interconnect(EventQueue &eq, const FabricSpec &spec, int num_gpus);
 
@@ -161,6 +181,31 @@ class Interconnect
         return _droppedDeliveries;
     }
 
+    /** Install the delivery observer (nullptr disables). */
+    void setDeliveryObserver(DeliveryObserver observer)
+    {
+        _deliveryObserver = std::move(observer);
+    }
+
+    /**
+     * Boundary-aware in-flight transfers: when enabled, a mid-flight
+     * rate-scale change (fault window boundary) re-books the remaining
+     * wire time of already-submitted transfers at the new rate, moving
+     * their completion callbacks accordingly, instead of honoring the
+     * submission-tick rate to the end. Off by default — the cheaper
+     * submission-rate model is exact whenever fault windows don't cut
+     * through live transfers.
+     */
+    void setRebooking(bool on);
+
+    bool rebooking() const { return _rebooking; }
+
+    /** Completions moved by mid-flight rebooking so far. */
+    std::uint64_t rebookedDeliveries() const
+    {
+        return _rebookedDeliveries;
+    }
+
   private:
     EventQueue &_eq;
     FabricSpec _spec;
@@ -178,17 +223,60 @@ class Interconnect
     Histogram _writeSizes;
     Trace *_trace = nullptr;
     FaultFilter _faultFilter;
+    DeliveryObserver _deliveryObserver;
     std::uint64_t _droppedDeliveries = 0;
+
+    /** One channel hop of a tracked in-flight transfer. */
+    struct Hop
+    {
+        Channel *channel;
+        Channel::BookingId booking;
+        Tick latencyAdd;   ///< Post-service latency this hop adds.
+        Tick serviceEnd;   ///< Current service end on the channel.
+    };
+
+    /** A live transfer whose completion may move under rebooking. */
+    struct Flight
+    {
+        std::vector<Hop> hops;
+        Tick extraDelay = 0;            ///< Fault-injected delay.
+        Tick delivered = 0;             ///< Current delivery tick.
+        EventId event = 0;              ///< Completion event (0=none).
+        EventQueue::Callback onComplete;
+        std::function<void(Tick)> onRebook;
+    };
+
+    bool _rebooking = false;
+    std::uint64_t _nextFlightId = 1;
+    std::uint64_t _rebookedDeliveries = 0;
+    std::unordered_map<std::uint64_t, Flight> _flights;
+
+    /** (channel, booking) -> flight id, per channel. */
+    std::unordered_map<Channel *,
+                       std::unordered_map<Channel::BookingId,
+                                          std::uint64_t>> _hopIndex;
 
     void validate(const Request &req) const;
 
+    /** Apply @p f to every channel of the fabric. */
+    void forEachChannel(const std::function<void(Channel &)> &f);
+
+    /** Channel rebook listener: move the owning flight's delivery. */
+    void onHopRebooked(Channel *channel, Channel::BookingId booking,
+                       Tick new_service_end);
+
+    /** Fire and garbage-collect a tracked flight's completion. */
+    void completeFlight(std::uint64_t id);
+
     /**
      * Consult the fault filter, schedule the completion callback
-     * (unless the delivery was dropped), and trace the span.
+     * (unless the delivery was dropped), notify the delivery
+     * observer, and trace the span. Under rebooking @p hops carries
+     * the channel bookings so the completion can later move.
      * @return The (possibly delayed) delivery tick.
      */
     Tick finishDelivery(const Request &req, Tick start,
-                        Tick delivered);
+                        Tick delivered, std::vector<Hop> hops = {});
 };
 
 } // namespace proact

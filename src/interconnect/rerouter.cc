@@ -1,0 +1,150 @@
+#include "interconnect/rerouter.hh"
+
+#include "sim/logging.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace proact {
+
+Rerouter::Rerouter(Interconnect &fabric,
+                   const LinkStateProvider &health,
+                   ReroutePolicy policy)
+    : _fabric(fabric), _health(health), _policy(policy)
+{
+    if (_policy.relayDiscount <= 0.0 || _policy.relayDiscount > 1.0)
+        fatalError("Rerouter: relayDiscount must be in (0, 1]");
+}
+
+int
+Rerouter::bestVia(int src, int dst, double *score) const
+{
+    int best = -1;
+    double best_score = 0.0;
+    for (int k = 0; k < _fabric.numGpus(); ++k) {
+        if (k == src || k == dst)
+            continue;
+        const double s =
+            std::min(_health.residualFraction(src, k),
+                     _health.residualFraction(k, dst))
+            * _policy.relayDiscount;
+        if (s > best_score) {
+            best_score = s;
+            best = k;
+        }
+    }
+    if (score)
+        *score = best_score;
+    return best;
+}
+
+std::vector<Rerouter::Leg>
+Rerouter::plan(int src, int dst) const
+{
+    const LinkState direct = _health.linkState(src, dst);
+    if (direct == LinkState::Healthy)
+        return {Leg{-1, 1.0}};
+
+    double relay_score = 0.0;
+    const int via = bestVia(src, dst, &relay_score);
+
+    if (direct == LinkState::Down) {
+        if (via < 0)
+            return {Leg{-1, 1.0}}; // No path: direct + retry fallback.
+        return {Leg{via, 1.0}};
+    }
+
+    // DEGRADED: split proportionally to residual bandwidth, relay
+    // discounted for its double wire cost.
+    const double residual = _health.residualFraction(src, dst);
+    if (via < 0 || relay_score <= 0.0)
+        return {Leg{-1, 1.0}};
+    const double relay_fraction =
+        relay_score / (residual + relay_score);
+    if (relay_fraction < _policy.minSplitFraction)
+        return {Leg{-1, 1.0}};
+    return {Leg{-1, 1.0 - relay_fraction}, Leg{via, relay_fraction}};
+}
+
+Tick
+Rerouter::sendLeg(const Submit &submit,
+                  const Interconnect::Request &base, const Leg &leg,
+                  std::uint64_t bytes,
+                  const std::function<void()> &arrived)
+{
+    Interconnect::Request req = base;
+    req.bytes = bytes;
+
+    if (leg.via < 0) {
+        req.onComplete = arrived;
+        return submit(req);
+    }
+
+    // Relay: first hop src -> via; on its delivery the second hop
+    // via -> dst is submitted through the same functor, and only its
+    // delivery counts as arrival.
+    _stats.inc("reroute.relay_hops");
+    _stats.inc("reroute.bytes_detoured", bytes);
+    Interconnect::Request first = req;
+    first.dst = leg.via;
+    Interconnect::Request second = req;
+    second.src = leg.via;
+    second.notBefore = 0;
+    second.onComplete = arrived;
+    first.onComplete = [submit, second] { submit(second); };
+    return submit(first);
+}
+
+Tick
+Rerouter::send(const Submit &submit, Interconnect::Request req)
+{
+    std::vector<Leg> legs = plan(req.src, req.dst);
+
+    const bool splittable = req.bytes >= _policy.minSplitBytes;
+    if (legs.size() > 1 && !splittable)
+        legs = {Leg{-1, 1.0}};
+
+    if (legs.size() == 1 && legs[0].via < 0) {
+        if (_health.linkState(req.src, req.dst) == LinkState::Down)
+            _stats.inc("reroute.no_path");
+        return submit(req); // Healthy or no better route: unchanged.
+    }
+
+    if (legs.size() == 1) {
+        _stats.inc("reroute.detours");
+    } else {
+        _stats.inc("reroute.splits");
+    }
+
+    // Join: the original completion fires once, at the last arrival.
+    auto remaining = std::make_shared<int>(
+        static_cast<int>(legs.size()));
+    const EventQueue::Callback on_complete = req.onComplete;
+    const std::function<void()> arrived =
+        [remaining, on_complete] {
+            if (--*remaining == 0 && on_complete)
+                on_complete();
+        };
+
+    // Byte split: integer shares, remainder on the first leg; a leg
+    // rounded to zero bytes still submits (zero-byte transfers
+    // complete immediately) so the join count stays exact.
+    std::vector<std::uint64_t> shares(legs.size(), 0);
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 1; i < legs.size(); ++i) {
+        shares[i] = static_cast<std::uint64_t>(
+            static_cast<double>(req.bytes) * legs[i].fraction);
+        assigned += shares[i];
+    }
+    shares[0] = req.bytes - assigned;
+
+    Tick predicted = 0;
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+        predicted = std::max(
+            predicted,
+            sendLeg(submit, req, legs[i], shares[i], arrived));
+    }
+    return predicted;
+}
+
+} // namespace proact

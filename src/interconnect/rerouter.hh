@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Topology-aware detours and route-splitting around unhealthy links.
+ *
+ * The Rerouter consults a LinkStateProvider (normally the
+ * LinkHealthMonitor) before a transfer books wire time. A DOWN direct
+ * link means the payload detours through the relay GPU whose two legs
+ * have the most residual bandwidth (e.g. GPU0 -> GPU2 -> GPU1 when
+ * the 0<->1 link died); a DEGRADED direct link means the payload is
+ * split between the direct link and the best relay, proportionally to
+ * their residual bandwidth. Relay paths cost double wire, so their
+ * score is discounted before comparing against the direct link.
+ *
+ * The rerouter never submits traffic itself: callers hand it a submit
+ * functor (RetryingSender::send, Interconnect::transfer, ...) and the
+ * rerouter decomposes the request into legs, forwarding each through
+ * that functor. The original onComplete fires exactly once, when the
+ * last leg has fully landed, so delivery accounting upstream (e.g.
+ * ProactRuntime's expected-vs-seen counters) is preserved. All
+ * decisions are pure functions of the health snapshot, so runs
+ * replay tick-for-tick.
+ */
+
+#ifndef PROACT_INTERCONNECT_REROUTER_HH
+#define PROACT_INTERCONNECT_REROUTER_HH
+
+#include "interconnect/interconnect.hh"
+#include "interconnect/link_state.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace proact {
+
+/** Route-selection knobs. */
+struct ReroutePolicy
+{
+    /**
+     * Don't bother splitting when the relay would carry less than
+     * this fraction of the payload (overhead beats benefit).
+     */
+    double minSplitFraction = 0.15;
+
+    /** Don't split payloads smaller than this. */
+    std::uint64_t minSplitBytes = 4 * KiB;
+
+    /**
+     * Relay paths consume wire on two links; their residual-bandwidth
+     * score is multiplied by this before competing with the direct
+     * link.
+     */
+    double relayDiscount = 0.5;
+};
+
+/**
+ * Plans alternate routes from the live link-health classification.
+ *
+ * Stats (read via stats()):
+ *  - reroute.detours:        transfers moved entirely off a DOWN link
+ *  - reroute.splits:         transfers split across direct + relay
+ *  - reroute.relay_hops:     second-leg submissions via a relay GPU
+ *  - reroute.bytes_detoured: payload bytes that avoided the direct link
+ *  - reroute.no_path:        DOWN link with no usable relay (sent
+ *                            direct; the retry fallback guarantees it)
+ */
+class Rerouter
+{
+  public:
+    /** One planned leg: direct (via < 0) or relayed through @c via. */
+    struct Leg
+    {
+        int via = -1;
+        double fraction = 1.0;
+    };
+
+    /** Functor that actually books a (single-link) transfer. */
+    using Submit = std::function<Tick(const Interconnect::Request &)>;
+
+    Rerouter(Interconnect &fabric, const LinkStateProvider &health,
+             ReroutePolicy policy = {});
+
+    /**
+     * Current route decision for src -> dst: one direct leg when the
+     * link is healthy (or nothing better exists), a single relay leg
+     * when it is DOWN, or a proportional direct+relay split when it
+     * is DEGRADED.
+     */
+    std::vector<Leg> plan(int src, int dst) const;
+
+    /**
+     * Decompose @p req along plan(src, dst) and forward every leg
+     * through @p submit. The request's onComplete fires exactly once,
+     * after all legs (including relay second hops) have landed.
+     *
+     * @return Predicted delivery tick of the slowest first-hop leg —
+     *         exact for direct routes, a lower bound when a relay's
+     *         second hop extends past it.
+     */
+    Tick send(const Submit &submit, Interconnect::Request req);
+
+    const ReroutePolicy &policy() const { return _policy; }
+
+    StatSet &stats() { return _stats; }
+    const StatSet &stats() const { return _stats; }
+
+  private:
+    Interconnect &_fabric;
+    const LinkStateProvider &_health;
+    ReroutePolicy _policy;
+    StatSet _stats;
+
+    /**
+     * Relay GPU with the best min-residual on both legs (discounted);
+     * -1 when no relay has usable bandwidth. Ties break to the lowest
+     * GPU id for determinism.
+     */
+    int bestVia(int src, int dst, double *score = nullptr) const;
+
+    /** Submit one leg carrying @p bytes; joins via @p arrived. */
+    Tick sendLeg(const Submit &submit,
+                 const Interconnect::Request &base, const Leg &leg,
+                 std::uint64_t bytes,
+                 const std::function<void()> &arrived);
+};
+
+} // namespace proact
+
+#endif // PROACT_INTERCONNECT_REROUTER_HH

@@ -126,6 +126,41 @@ envFaultPlan()
     return plan;
 }
 
+namespace {
+
+/** A fault-adaptive layer: on by default when faults are on. */
+bool
+envLayerEnabled(const char *name)
+{
+    if (!envFaultsEnabled())
+        return false;
+    const char *env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return true;
+    return std::string(env) != "0";
+}
+
+} // namespace
+
+bool
+envHealthEnabled()
+{
+    return envLayerEnabled("PROACT_HEALTH") || envRerouteEnabled()
+        || envReprofileEnabled();
+}
+
+bool
+envRerouteEnabled()
+{
+    return envLayerEnabled("PROACT_REROUTE");
+}
+
+bool
+envReprofileEnabled()
+{
+    return envLayerEnabled("PROACT_REPROFILE");
+}
+
 RetryPolicy
 envRetryPolicy()
 {

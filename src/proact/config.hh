@@ -91,6 +91,15 @@ std::vector<std::uint32_t> threadCountSweep();
  *  - PROACT_FAULT_SEED          drop-decision seed (default 1)
  *  - PROACT_RETRY_MAX_ATTEMPTS  retry budget before the reliable
  *                               fallback (default 5, clamp [1, 16])
+ *
+ * Fault-adaptive runtime knobs (each defaults to on whenever
+ * PROACT_FAULTS is on; set to 0 to ablate one layer):
+ *  - PROACT_HEALTH=0/1          per-link health monitoring
+ *  - PROACT_REROUTE=0/1         detours/splits around unhealthy links
+ *                               (implies health monitoring)
+ *  - PROACT_REPROFILE=0/1       re-profile + config hot-swap at
+ *                               iteration boundaries on link-state
+ *                               changes (implies health monitoring)
  */
 
 /** Whether PROACT_FAULTS enables fault injection. */
@@ -109,6 +118,15 @@ FaultPlan envFaultPlan();
  * the PROACT_RETRY_MAX_ATTEMPTS budget applied.
  */
 RetryPolicy envRetryPolicy();
+
+/** Whether link health monitoring is enabled (PROACT_HEALTH). */
+bool envHealthEnabled();
+
+/** Whether fault-adaptive rerouting is enabled (PROACT_REROUTE). */
+bool envRerouteEnabled();
+
+/** Whether adaptive re-profiling is enabled (PROACT_REPROFILE). */
+bool envReprofileEnabled();
 /** @} */
 
 } // namespace proact

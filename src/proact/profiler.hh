@@ -77,6 +77,26 @@ class Profiler
          * unreasonable; cf. the paper's Sec. III-B storage remark).
          */
         int maxChunksPerGpu = 65536;
+
+        /** @{ @name Fault-aware sweeps
+         *
+         * A faulted platform is just another platform: installing a
+         * FaultPlan on every candidate's fresh system makes the sweep
+         * optimize for the fabric as it actually behaves (retry
+         * overhead shifts the optimum toward coarser chunks). The
+         * retry policy is forced onto each measured config whenever
+         * the plan is non-empty.
+         */
+        FaultPlan faults;
+        RetryPolicy retry;
+
+        /** Monitor link health during each measurement. */
+        bool health = false;
+
+        /** Reroute around unhealthy links during each measurement
+         * (implies health). */
+        bool reroute = false;
+        /** @} */
     };
 
     explicit Profiler(PlatformSpec platform);

@@ -1,6 +1,7 @@
 #include "proact/runtime.hh"
 
 #include "proact/instrumentation.hh"
+#include "proact/reprofiler.hh"
 #include "sim/logging.hh"
 
 #include <algorithm>
@@ -41,6 +42,12 @@ ProactRuntime::run(Workload &workload)
     _atomicFanout = workload.footprintScale();
     const Tick start = _system.now();
     for (int iter = 0; iter < iterations; ++iter) {
+        // Region boundary: adopt a re-profiled config before the next
+        // iteration launches (mid-iteration state is never disturbed).
+        if (_options.reprofiler && _options.reprofiler->refresh()) {
+            _options.config = _options.reprofiler->current();
+            _stats.inc("config_swaps");
+        }
         const Phase phase = workload.phase(iter);
         if (_system.numGpus() == 1)
             runPhaseSingleGpu(phase);

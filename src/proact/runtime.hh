@@ -30,6 +30,8 @@
 
 namespace proact {
 
+class AdaptiveReprofiler;
+
 /** Executes workloads under PROACT (inline or decoupled). */
 class ProactRuntime : public Runtime
 {
@@ -46,6 +48,15 @@ class ProactRuntime : public Runtime
 
         /** Cap iterations (profiling runs use a short prefix). */
         int maxIterations = -1;
+
+        /**
+         * Fault-adaptive runtime: consulted at every iteration
+         * boundary; when a link-state change is pending, the
+         * reprofiler's narrowed sweep runs and the winning config is
+         * hot-swapped in for the following iterations (stat
+         * "config_swaps"). Not owned; may be nullptr.
+         */
+        AdaptiveReprofiler *reprofiler = nullptr;
     };
 
     ProactRuntime(MultiGpuSystem &system, Options options);

@@ -1,6 +1,7 @@
 #include "proact/transfer_agent.hh"
 
 #include "gpu/gpu.hh"
+#include "interconnect/rerouter.hh"
 #include "sim/logging.hh"
 
 #include <algorithm>
@@ -47,7 +48,21 @@ TransferAgent::pushToPeers(std::uint64_t bytes, Tick not_before,
         req.threads = threads;
         req.notBefore = start;
         req.onComplete = std::move(deliver);
-        last = std::max(last, _sender.send(std::move(req)));
+
+        // With the fault-adaptive runtime on, the rerouter may detour
+        // this push around a DOWN link or split it across a DEGRADED
+        // one; every leg still flows through the retrying sender and
+        // onDelivered fires exactly once, at the last leg's landing.
+        if (Rerouter *rr = system.rerouter()) {
+            last = std::max(
+                last, rr->send(
+                          [this](const Interconnect::Request &leg) {
+                              return _sender.send(leg);
+                          },
+                          std::move(req)));
+        } else {
+            last = std::max(last, _sender.send(std::move(req)));
+        }
     }
 
     bumpStat("chunks_pushed");

@@ -30,7 +30,84 @@ Channel::setRateScale(double scale)
     if (scale <= 0.0 || scale > 1.0)
         throw std::invalid_argument("Channel rate scale must be in "
                                     "(0, 1]: " + _name);
+    if (scale == _rateScale)
+        return;
+    const double old_rate = rate();
     _rateScale = scale;
+    if (_rebookable)
+        retimeBookings(old_rate, rate());
+}
+
+void
+Channel::setRebookable(bool on)
+{
+    _rebookable = on;
+    if (!on) {
+        _bookings.clear();
+        _lastBookingId = 0;
+    }
+}
+
+void
+Channel::pruneBookings()
+{
+    const Tick now = _eq.curTick();
+    while (!_bookings.empty() &&
+           _bookings.front().serviceEnd <= now) {
+        _bookings.pop_front();
+    }
+}
+
+void
+Channel::retimeBookings(double old_rate, double new_rate)
+{
+    pruneBookings();
+    if (_bookings.empty())
+        return;
+
+    const Tick now = _eq.curTick();
+    const auto retime = [old_rate, new_rate](Tick ticks) -> Tick {
+        if (ticks == 0)
+            return 0;
+        const auto scaled = static_cast<Tick>(
+            static_cast<double>(ticks) * old_rate / new_rate + 0.5);
+        return scaled == 0 ? 1 : scaled;
+    };
+
+    Tick prev_end = 0;
+    for (Booking &b : _bookings) {
+        Tick new_start, new_end;
+        if (b.start <= now) {
+            // In service: the work already done stays done; only the
+            // remainder is re-timed at the new rate.
+            new_start = b.start;
+            new_end = now + retime(b.serviceEnd - now);
+        } else {
+            // Queued: full service re-timed, start chained behind the
+            // re-timed predecessor (but never before its own gate).
+            new_start = std::max({b.notBefore, prev_end, now});
+            new_end = new_start + retime(b.serviceEnd - b.start);
+        }
+
+        const auto old_dur =
+            static_cast<std::int64_t>(b.serviceEnd - b.start);
+        const auto new_dur =
+            static_cast<std::int64_t>(new_end - new_start);
+        _busyTicks = static_cast<Tick>(
+            static_cast<std::int64_t>(_busyTicks) + new_dur - old_dur);
+
+        b.start = new_start;
+        b.serviceEnd = new_end;
+        prev_end = new_end;
+
+        if (b.event != 0) {
+            _eq.deschedule(b.event);
+            b.event = _eq.schedule(new_end + _latency, b.callback);
+        }
+        if (_rebookListener)
+            _rebookListener(b.id, new_end);
+    }
+    _busyUntil = prev_end;
 }
 
 Tick
@@ -62,6 +139,23 @@ Channel::submitAfter(Tick not_before, std::uint64_t wire_bytes,
     _wireBytes += wire_bytes;
     _payloadBytes += payload_bytes;
     ++_numTransfers;
+
+    if (_rebookable) {
+        pruneBookings();
+        Booking b;
+        b.id = _nextBookingId++;
+        b.notBefore = not_before;
+        b.start = start;
+        b.serviceEnd = service_end;
+        b.event = 0;
+        if (on_delivered) {
+            b.callback = std::move(on_delivered);
+            b.event = _eq.schedule(delivered, b.callback);
+        }
+        _lastBookingId = b.id;
+        _bookings.push_back(std::move(b));
+        return delivered;
+    }
 
     if (on_delivered)
         _eq.schedule(delivered, std::move(on_delivered));

@@ -17,6 +17,8 @@
 #include "sim/types.hh"
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <string>
 
 namespace proact {
@@ -31,6 +33,13 @@ namespace proact {
 class Channel
 {
   public:
+    /** Identifies one live submission while rebooking is enabled. */
+    using BookingId = std::uint64_t;
+
+    /** Notified after a booking's service end moved (rebooking). */
+    using RebookListener =
+        std::function<void(BookingId, Tick new_service_end)>;
+
     /**
      * @param eq Event queue driving the simulation.
      * @param name Diagnostic name (appears in stats dumps).
@@ -97,6 +106,29 @@ class Channel
 
     double rateScale() const { return _rateScale; }
 
+    /**
+     * Track live bookings so a rate-scale change mid-flight re-times
+     * the remaining service of already-submitted transfers (and shifts
+     * queued ones) instead of honoring the submission-tick rate. Off
+     * by default: booking tracking costs memory and the fault model's
+     * original submission-rate semantics are often what a test wants.
+     */
+    void setRebookable(bool on);
+
+    bool rebookable() const { return _rebookable; }
+
+    /** Observer of booking moves (nullptr disables). */
+    void setRebookListener(RebookListener listener)
+    {
+        _rebookListener = std::move(listener);
+    }
+
+    /**
+     * Booking id assigned to the most recent submit while rebooking
+     * is enabled (0 when rebooking is off).
+     */
+    BookingId lastBookingId() const { return _lastBookingId; }
+
     /** Fixed post-service delivery latency. */
     Tick latency() const { return _latency; }
     void setLatency(Tick latency) { _latency = latency; }
@@ -118,6 +150,17 @@ class Channel
     void resetStats();
 
   private:
+    /** One live submission, remembered only while rebookable. */
+    struct Booking
+    {
+        BookingId id;
+        Tick notBefore;    ///< Earliest permissible service start.
+        Tick start;        ///< Current service start.
+        Tick serviceEnd;   ///< Current service end (excl. latency).
+        EventId event;     ///< Pending delivery event (0 if none).
+        EventQueue::Callback callback; ///< Re-scheduled on rebook.
+    };
+
     EventQueue &_eq;
     std::string _name;
     double _nominalRate;
@@ -129,6 +172,18 @@ class Channel
     std::uint64_t _wireBytes = 0;
     std::uint64_t _payloadBytes = 0;
     Tick _busyTicks = 0;
+
+    bool _rebookable = false;
+    BookingId _nextBookingId = 1;
+    BookingId _lastBookingId = 0;
+    std::deque<Booking> _bookings; ///< FIFO by service start.
+    RebookListener _rebookListener;
+
+    /** Drop bookings whose service already finished. */
+    void pruneBookings();
+
+    /** Re-time live bookings after the rate moved old -> new. */
+    void retimeBookings(double old_rate, double new_rate);
 };
 
 } // namespace proact

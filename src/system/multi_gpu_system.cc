@@ -42,6 +42,29 @@ MultiGpuSystem::installFaults(FaultPlan plan)
     return *_faults;
 }
 
+LinkHealthMonitor &
+MultiGpuSystem::enableHealth(HealthPolicy policy)
+{
+    if (!_health) {
+        _health = std::make_unique<LinkHealthMonitor>(_eq, *_fabric,
+                                                      policy);
+    }
+    return *_health;
+}
+
+Rerouter &
+MultiGpuSystem::enableReroute(ReroutePolicy policy)
+{
+    if (!_rerouter) {
+        enableHealth();
+        _rerouter = std::make_unique<Rerouter>(*_fabric, *_health,
+                                               policy);
+        for (auto &dma : _dmas)
+            dma->setRerouter(_rerouter.get());
+    }
+    return *_rerouter;
+}
+
 void
 MultiGpuSystem::setTrace(Trace *trace)
 {
@@ -87,6 +110,20 @@ MultiGpuSystem::dumpStats(std::ostream &os)
         _faults->stats().dump(os, "  ");
         os << "  fabric.dropped_deliveries = "
            << fabric.droppedDeliveries() << "\n";
+        if (fabric.rebooking()) {
+            os << "  fabric.rebooked_deliveries = "
+               << fabric.rebookedDeliveries() << "\n";
+        }
+    }
+    if (_health) {
+        os << "health:\n";
+        _health->stats().dump(os, "  ");
+        for (const auto &t : _health->transitions())
+            os << "  " << t.describe() << "\n";
+    }
+    if (_rerouter) {
+        os << "reroute:\n";
+        _rerouter->stats().dump(os, "  ");
     }
 }
 

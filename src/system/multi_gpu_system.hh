@@ -16,7 +16,9 @@
 #include "faults/fault_plan.hh"
 #include "gpu/dma_engine.hh"
 #include "gpu/gpu.hh"
+#include "health/link_health.hh"
 #include "interconnect/interconnect.hh"
+#include "interconnect/rerouter.hh"
 #include "sim/event_queue.hh"
 #include "system/platform.hh"
 
@@ -101,6 +103,29 @@ class MultiGpuSystem
     FaultInjector *faults() { return _faults.get(); }
     const FaultInjector *faults() const { return _faults.get(); }
 
+    /**
+     * Start per-link health monitoring: the monitor observes every
+     * fabric delivery/drop and classifies links HEALTHY / DEGRADED /
+     * DOWN with hysteresis. Idempotent; the policy of the first call
+     * wins.
+     */
+    LinkHealthMonitor &enableHealth(HealthPolicy policy = {});
+
+    /**
+     * Enable topology-aware rerouting (implies enableHealth): agents,
+     * collectives and DMA engines detour around DOWN links and split
+     * traffic across DEGRADED ones. Idempotent.
+     */
+    Rerouter &enableReroute(ReroutePolicy policy = {});
+
+    /** The health monitor, or nullptr when disabled. */
+    LinkHealthMonitor *health() { return _health.get(); }
+    const LinkHealthMonitor *health() const { return _health.get(); }
+
+    /** The rerouter, or nullptr when disabled. */
+    Rerouter *rerouter() { return _rerouter.get(); }
+    const Rerouter *rerouter() const { return _rerouter.get(); }
+
     /** Drain the event queue. */
     void run() { _eq.run(); }
 
@@ -130,6 +155,8 @@ class MultiGpuSystem
     std::vector<std::unique_ptr<Gpu>> _gpus;
     std::vector<std::unique_ptr<DmaEngine>> _dmas;
     std::unique_ptr<FaultInjector> _faults;
+    std::unique_ptr<LinkHealthMonitor> _health;
+    std::unique_ptr<Rerouter> _rerouter;
     Host _host;
     Trace *_trace = nullptr;
 };

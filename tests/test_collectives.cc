@@ -5,9 +5,12 @@
 
 #include "collectives/collectives.hh"
 
+#include "faults/fault_plan.hh"
 #include "sim/logging.hh"
 
 #include <gtest/gtest.h>
+
+#include <tuple>
 
 using namespace proact;
 
@@ -135,6 +138,72 @@ TEST(Collectives, SingleGpuIsNoop)
               system.now());
     system.run();
     EXPECT_EQ(system.fabric().totalPayloadBytes(), 0u);
+}
+
+TEST(Collectives, BroadcastSurvivesDeliveryDrops)
+{
+    // 1 % chunk loss on every link: with retry enabled the broadcast
+    // must land every chunk on every peer exactly once (the bitwise-
+    // correctness proxy of the chunk-count model) and still complete.
+    MultiGpuSystem system(voltaPlatform());
+    FaultPlan plan;
+    plan.seed = 11;
+    plan.dropDeliveries(0, maxTick, 0.01);
+    system.installFaults(std::move(plan));
+
+    TransferConfig config = proactConfig();
+    config.chunkBytes = 16 * KiB;
+    config.retry.enabled = true;
+    config.retry.maxAttempts = 8;
+    Collectives coll(system, config);
+
+    const std::uint64_t bytes = 4 * MiB;
+    bool done = false;
+    coll.broadcast(0, bytes, CollectiveBackend::Proact,
+                   [&] { done = true; });
+    system.run();
+
+    EXPECT_TRUE(done);
+    const std::uint64_t chunks = bytes / config.chunkBytes;
+    EXPECT_EQ(coll.chunksDelivered(),
+              chunks * (system.numGpus() - 1));
+    EXPECT_GT(coll.stats().get("transfers.retried"), 0.0);
+    EXPECT_DOUBLE_EQ(coll.stats().get("transfers.abandoned"), 0.0);
+}
+
+TEST(Collectives, AllGatherSurvivesDeliveryDropsDeterministically)
+{
+    auto run_once = [] {
+        MultiGpuSystem system(voltaPlatform());
+        FaultPlan plan;
+        plan.seed = 23;
+        plan.dropDeliveries(0, maxTick, 0.01);
+        system.installFaults(std::move(plan));
+
+        TransferConfig config = proactConfig();
+        config.chunkBytes = 32 * KiB;
+        config.retry.enabled = true;
+        config.retry.maxAttempts = 8;
+        Collectives coll(system, config);
+
+        bool done = false;
+        const Tick t = coll.allGather(2 * MiB,
+                                      CollectiveBackend::Proact,
+                                      [&] { done = true; });
+        system.run();
+        EXPECT_TRUE(done);
+
+        // 4 contributors x 64 chunks x 3 destinations, each once.
+        EXPECT_EQ(coll.chunksDelivered(), 4u * 64u * 3u);
+        EXPECT_GT(coll.stats().get("transfers.retried"), 0.0);
+        return std::tuple<Tick, double, double>(
+            t, coll.stats().get("transfers.retried"),
+            system.faults()->stats().get("faults.dropped"));
+    };
+
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a, b); // Same seed -> same drops, retries, final tick.
 }
 
 TEST(Collectives, BusBandwidthMetric)

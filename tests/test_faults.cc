@@ -18,6 +18,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+
 using namespace proact;
 using namespace proact::test;
 
@@ -120,6 +124,130 @@ TEST(FaultPlanTest, DescribeAndKindNames)
     EXPECT_EQ(plan.episodes.at(0).describe(), "drop p=0.25 gpu*->gpu2");
     plan.stallDma(0, 10, 1);
     EXPECT_EQ(plan.episodes.at(1).describe(), "dma-stall gpu1");
+}
+
+TEST(FaultPlanTest, PlaneBuildersExpandToAllPairsInOneGroup)
+{
+    FaultPlan plan;
+    plan.downPlane(10, 20, {0, 1, 2});
+    plan.degradePlane(30, 40, 0.5, {1, 3});
+
+    // k GPUs -> k*(k-1) directed episodes, one fresh group per plane.
+    ASSERT_EQ(plan.episodes.size(), 6u + 2u);
+    EXPECT_EQ(plan.numGroups(), 2);
+
+    for (std::size_t i = 0; i < 6; ++i) {
+        const FaultEpisode &ep = plan.episodes[i];
+        EXPECT_EQ(ep.kind, FaultKind::LinkDown);
+        EXPECT_EQ(ep.group, 0);
+        EXPECT_EQ(ep.start, 10u);
+        EXPECT_EQ(ep.end, 20u);
+        EXPECT_NE(ep.src, ep.dst);
+        EXPECT_TRUE(ep.src >= 0 && ep.src <= 2);
+        EXPECT_TRUE(ep.dst >= 0 && ep.dst <= 2);
+    }
+    for (std::size_t i = 6; i < 8; ++i) {
+        const FaultEpisode &ep = plan.episodes[i];
+        EXPECT_EQ(ep.kind, FaultKind::LinkDegrade);
+        EXPECT_EQ(ep.group, 1);
+        EXPECT_DOUBLE_EQ(ep.severity, 0.5);
+    }
+    // Every directed pair is distinct.
+    std::set<std::pair<int, int>> pairs;
+    for (std::size_t i = 0; i < 6; ++i)
+        pairs.emplace(plan.episodes[i].src, plan.episodes[i].dst);
+    EXPECT_EQ(pairs.size(), 6u);
+
+    EXPECT_NO_THROW(plan.validate(4));
+    EXPECT_NE(plan.episodes[0].describe().find("[group 0]"),
+              std::string::npos);
+}
+
+TEST(FaultPlanTest, ValidateRejectsSplitGroupWindows)
+{
+    // A correlation group models ONE physical event; episodes that
+    // disagree on the window cannot be the same event.
+    FaultPlan plan;
+    plan.downPlane(10, 20, {0, 1});
+    FaultEpisode stray;
+    stray.kind = FaultKind::LinkDown;
+    stray.start = 15; // Same group, different window.
+    stray.end = 25;
+    stray.src = 2;
+    stray.dst = 3;
+    stray.group = 0;
+    plan.episodes.push_back(stray);
+    EXPECT_THROW(plan.validate(4), FatalError);
+
+    EXPECT_THROW(FaultPlan{}.downPlane(0, 10, {2}).validate(4),
+                 FatalError); // A plane needs >= 2 GPUs.
+}
+
+TEST(FaultInjectorTest, CorrelatedGroupsCountOncePerPlane)
+{
+    MultiGpuSystem system(voltaPlatform());
+    FaultPlan plan;
+    plan.downPlane(0, 10 * ticksPerMicrosecond, {0, 1, 2});
+    plan.downLink(0, ticksPerMicrosecond, 3, 0); // Independent.
+    FaultInjector &inj = system.installFaults(std::move(plan));
+
+    // All windows opened at arm time: 6 plane episodes + 1 loner
+    // began, but only one correlated physical event happened.
+    EXPECT_DOUBLE_EQ(inj.stats().get("faults.injected"), 7.0);
+    EXPECT_DOUBLE_EQ(inj.stats().get("faults.down_windows"), 7.0);
+    EXPECT_DOUBLE_EQ(inj.stats().get("faults.correlated_groups"), 1.0);
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicAndValid)
+{
+    RandomFaultOptions options;
+    options.numEvents = 8;
+    options.planeProbability = 0.5;
+    options.planeSize = 3;
+
+    const FaultPlan a = randomFaultPlan(1234, 4, options);
+    const FaultPlan b = randomFaultPlan(1234, 4, options);
+    const FaultPlan c = randomFaultPlan(4321, 4, options);
+
+    EXPECT_EQ(a.seed, 1234u);
+    EXPECT_NO_THROW(a.validate(4)); // Generator self-validates too.
+
+    auto fingerprint = [](const FaultPlan &plan) {
+        std::vector<std::string> lines;
+        for (const FaultEpisode &ep : plan.episodes) {
+            lines.push_back(ep.describe() + " @" +
+                            std::to_string(ep.start) + "-" +
+                            std::to_string(ep.end));
+        }
+        return lines;
+    };
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+    EXPECT_NE(fingerprint(a), fingerprint(c));
+
+    // Every target respects the system size.
+    for (const FaultEpisode &ep : a.episodes) {
+        EXPECT_GE(ep.src, 0);
+        EXPECT_LT(ep.src, 4);
+        EXPECT_GE(ep.dst, 0);
+        EXPECT_LT(ep.dst, 4);
+        EXPECT_NE(ep.src, ep.dst);
+    }
+}
+
+TEST(FaultPlanTest, RandomPlanEventMixFollowsOptions)
+{
+    RandomFaultOptions options;
+    options.numEvents = 5;
+    options.planeProbability = 0.0; // Single-link events only.
+    const FaultPlan singles = randomFaultPlan(7, 4, options);
+    EXPECT_EQ(singles.episodes.size(), 5u);
+    EXPECT_EQ(singles.numGroups(), 0);
+
+    options.planeProbability = 1.0; // Every event is a plane.
+    options.planeSize = 3;
+    const FaultPlan planes = randomFaultPlan(7, 4, options);
+    EXPECT_EQ(planes.numGroups(), 5);
+    EXPECT_EQ(planes.episodes.size(), 5u * 6u); // 3 GPUs -> 6 pairs.
 }
 
 TEST(FaultInjectorTest, DegradeWindowSlowsAndRestores)
@@ -336,6 +464,70 @@ TEST(FaultInjectorTest, SeededDropsAreDeterministic)
     const auto b = run_once();
     EXPECT_GT(std::get<1>(a), 0.0);
     EXPECT_EQ(a, b);
+}
+
+TEST(RebookingTest, WindowEndRetimesInFlightTransfers)
+{
+    // A transfer booked inside a degrade window but outliving it: the
+    // submission-rate model (default) honors the degraded rate to the
+    // end; rebooking re-times the remainder at nominal speed once the
+    // window closes, landing strictly earlier.
+    auto run_one = [](bool degraded, bool rebooking,
+                      Tick window_end) {
+        FaultHarness h;
+        h.system.fabric().setRebooking(rebooking);
+        if (degraded) {
+            FaultPlan plan;
+            plan.degradeLink(0, window_end, 0.5);
+            h.system.installFaults(std::move(plan));
+        }
+        HardwareAgent agent(h.context(TransferMechanism::Hardware));
+        agent.chunkReady(0, 4 * MiB);
+        h.system.run();
+        EXPECT_EQ(h.deliveries, h.peers());
+        return std::pair<Tick, std::uint64_t>(
+            h.lastDelivery, h.system.fabric().rebookedDeliveries());
+    };
+
+    const Tick healthy = run_one(false, false, 0).first;
+    // Close the window when the healthy run would just have finished:
+    // at half rate only ~half the bytes are through by then.
+    const Tick window_end = healthy;
+    const auto [norebook, norebook_moves] =
+        run_one(true, false, window_end);
+    const auto [rebooked, rebook_moves] =
+        run_one(true, true, window_end);
+
+    EXPECT_GT(norebook, healthy); // The window really cut through.
+    EXPECT_LT(rebooked, norebook);
+    EXPECT_GT(rebooked, healthy);
+    EXPECT_EQ(norebook_moves, 0u);
+    EXPECT_GT(rebook_moves, 0u);
+}
+
+TEST(RebookingTest, RetryHorizonFollowsASlowedDelivery)
+{
+    // A degrade window opening mid-flight pushes the delivery past the
+    // originally predicted tick. With rebooking on, the retry layer's
+    // ack horizon must follow the new completion instead of declaring
+    // the slowed (but healthy) transfer lost.
+    FaultHarness h;
+    h.system.fabric().setRebooking(true);
+    FaultPlan plan;
+    plan.degradeLink(5 * ticksPerMicrosecond,
+                     500 * ticksPerMicrosecond, 0.8);
+    h.system.installFaults(std::move(plan));
+
+    HardwareAgent agent(
+        h.context(TransferMechanism::Hardware, testRetry(4)));
+    agent.chunkReady(0, 4 * MiB);
+    h.system.run();
+
+    EXPECT_EQ(h.deliveries, h.peers());
+    EXPECT_GT(h.system.fabric().rebookedDeliveries(), 0u);
+    // Nothing was dropped, so nothing may have been retried.
+    EXPECT_DOUBLE_EQ(h.stats.get("transfers.retried"), 0.0);
+    EXPECT_DOUBLE_EQ(h.stats.get("transfers.abandoned"), 0.0);
 }
 
 TEST(FaultInjectorTest, ArmTwiceIsFatal)

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Tests for the fault-adaptive runtime: link-health classification
+ * (hysteresis, bounded DOWN-detection latency, recovery), rerouting
+ * around unhealthy links, adaptive re-profiling, and tick-for-tick
+ * determinism of the whole stack under identical seeds.
+ */
+
+#include "health/link_health.hh"
+#include "interconnect/rerouter.hh"
+#include "proact/reprofiler.hh"
+#include "proact/runtime.hh"
+#include "proact/transfer_agent.hh"
+#include "sim/logging.hh"
+#include "tests/small_workloads.hh"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace proact;
+using namespace proact::test;
+
+namespace {
+
+/** Volta platform with statically partitioned pair links, so a
+ * detour around a dead pair uses physically distinct wires. */
+PlatformSpec
+pairwiseVolta()
+{
+    PlatformSpec p = voltaPlatform();
+    p.fabric.topology = FabricTopology::PairwiseLinks;
+    return p;
+}
+
+RetryPolicy
+testRetry(int max_attempts = 6)
+{
+    RetryPolicy policy;
+    policy.enabled = true;
+    policy.maxAttempts = max_attempts;
+    return policy;
+}
+
+/** Agent-level harness mirroring tests/test_faults.cc. */
+struct HealthHarness
+{
+    MultiGpuSystem system;
+    int deliveries = 0;
+    Tick lastDelivery = 0;
+    StatSet stats;
+
+    explicit HealthHarness(const PlatformSpec &platform)
+        : system(platform)
+    {
+    }
+
+    TransferAgent::Context
+    context(TransferMechanism mech, RetryPolicy retry = {})
+    {
+        TransferAgent::Context ctx;
+        ctx.system = &system;
+        ctx.gpuId = 0;
+        ctx.config.mechanism = mech;
+        ctx.config.chunkBytes = 64 * KiB;
+        ctx.config.transferThreads = 2048;
+        ctx.config.retry = retry;
+        ctx.stats = &stats;
+        ctx.onDelivered = [this](std::uint64_t) {
+            ++deliveries;
+            lastDelivery = system.now();
+        };
+        return ctx;
+    }
+
+    int peers() const { return system.numGpus() - 1; }
+};
+
+} // namespace
+
+TEST(LinkHealthTest, LossStreakBelowThresholdDoesNotFlap)
+{
+    MultiGpuSystem system(voltaPlatform());
+    LinkHealthMonitor &mon = system.enableHealth();
+    const int threshold = mon.policy().downAfterLosses;
+    ASSERT_GE(threshold, 2);
+
+    // One short of the streak: still healthy, no transition recorded.
+    for (int i = 0; i < threshold - 1; ++i)
+        mon.recordLoss(0, 1);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Healthy);
+    EXPECT_TRUE(mon.transitions().empty());
+
+    // A clean delivery resets the streak; the same number of losses
+    // again still must not trip the link.
+    mon.recordDelivery(0, 1, 4 * KiB, 0, 1);
+    for (int i = 0; i < threshold - 1; ++i)
+        mon.recordLoss(0, 1);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Healthy);
+
+    // The full streak does.
+    mon.recordDelivery(0, 1, 4 * KiB, 0, 1);
+    for (int i = 0; i < threshold; ++i)
+        mon.recordLoss(0, 1);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Down);
+    ASSERT_EQ(mon.transitions().size(), 1u);
+    EXPECT_EQ(mon.transitions()[0].to, LinkState::Down);
+}
+
+TEST(LinkHealthTest, OneSlowDeliveryDoesNotDegrade)
+{
+    MultiGpuSystem system(voltaPlatform());
+    LinkHealthMonitor &mon = system.enableHealth();
+    const HealthPolicy &policy = mon.policy();
+
+    // Prime the EWMA with nominal-speed samples (actual == 1 tick
+    // makes the achieved fraction saturate at 1.0).
+    for (int i = 0; i < policy.minSamples; ++i)
+        mon.recordDelivery(0, 1, 64 * KiB, 0, 1);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Healthy);
+
+    // One pathologically slow delivery: the EWMA absorbs the spike
+    // (1 - alpha stays above the degrade threshold), no flap.
+    mon.recordDelivery(0, 1, 64 * KiB, 0, ticksPerSecond);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Healthy);
+    EXPECT_TRUE(mon.transitions().empty());
+
+    // A sustained slowdown does degrade.
+    for (int i = 0; i < 16; ++i)
+        mon.recordDelivery(0, 1, 64 * KiB, 0, ticksPerSecond);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Degraded);
+    EXPECT_LT(mon.residualFraction(0, 1), policy.degradedBwFraction);
+}
+
+TEST(LinkHealthTest, DegradedRecoveryRequiresStreakAndBandwidth)
+{
+    MultiGpuSystem system(voltaPlatform());
+    LinkHealthMonitor &mon = system.enableHealth();
+
+    for (int i = 0; i < 16; ++i)
+        mon.recordDelivery(0, 1, 64 * KiB, 0, ticksPerSecond);
+    ASSERT_EQ(mon.linkState(0, 1), LinkState::Degraded);
+
+    // Hysteresis: a couple of fast deliveries are not enough — the
+    // EWMA must cross the *higher* healthy threshold with a streak.
+    mon.recordDelivery(0, 1, 64 * KiB, 0, 1);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Degraded);
+
+    for (int i = 0; i < 32; ++i)
+        mon.recordDelivery(0, 1, 64 * KiB, 0, 1);
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Healthy);
+
+    // Exactly two transitions: in and out. No flapping in between.
+    ASSERT_EQ(mon.transitions().size(), 2u);
+    EXPECT_EQ(mon.transitions()[0].to, LinkState::Degraded);
+    EXPECT_EQ(mon.transitions()[1].to, LinkState::Healthy);
+    EXPECT_DOUBLE_EQ(mon.residualFraction(0, 1), 1.0);
+}
+
+TEST(LinkHealthTest, DownDetectionLatencyIsBounded)
+{
+    // A link that dies mid-run must be declared DOWN after exactly
+    // downAfterLosses consecutive losses — no earlier, no later.
+    HealthHarness h((voltaPlatform()));
+    LinkHealthMonitor &mon = h.system.enableHealth();
+
+    FaultPlan plan;
+    plan.downLink(0, maxTick, 0, 1);
+    h.system.installFaults(std::move(plan));
+
+    std::uint64_t losses_at_down = 0;
+    Tick down_tick = 0;
+    mon.addListener([&](int s, int d, LinkState, LinkState to) {
+        if (s == 0 && d == 1 && to == LinkState::Down) {
+            losses_at_down = static_cast<std::uint64_t>(
+                mon.stats().get("health.losses"));
+            down_tick = h.system.now();
+        }
+    });
+
+    HardwareAgent agent(
+        h.context(TransferMechanism::Hardware, testRetry(8)));
+    for (int c = 0; c < 8; ++c)
+        agent.chunkReady(c, 16 * KiB);
+    h.system.run();
+
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Down);
+    // Only 0->1 deliveries are lost, so the monitor's loss count at
+    // the transition is the detection latency in observations.
+    EXPECT_EQ(losses_at_down, static_cast<std::uint64_t>(
+                                  mon.policy().downAfterLosses));
+    // Drops are observed when the transfer is booked (cut-through
+    // fabric), so detection can land at the submission tick itself —
+    // only the upper bound is meaningful.
+    EXPECT_LE(down_tick, h.lastDelivery);
+    // Retry + fallback still landed every chunk everywhere.
+    EXPECT_EQ(h.deliveries, 8 * h.peers());
+}
+
+TEST(LinkHealthTest, ProbingGivesUpOnAPermanentlyDeadLink)
+{
+    HealthHarness h((voltaPlatform()));
+    HealthPolicy policy;
+    policy.probeInterval = 5 * ticksPerMicrosecond;
+    policy.maxProbeFailures = 4;
+    LinkHealthMonitor &mon = h.system.enableHealth(policy);
+
+    FaultPlan plan;
+    plan.downLink(0, maxTick, 0, 1);
+    h.system.installFaults(std::move(plan));
+
+    HardwareAgent agent(
+        h.context(TransferMechanism::Hardware, testRetry(4)));
+    agent.chunkReady(0, 4 * KiB);
+    h.system.run(); // Must terminate: probing is bounded.
+
+    EXPECT_EQ(mon.linkState(0, 1), LinkState::Down);
+    EXPECT_GT(mon.stats().get("health.probes"), 0.0);
+    EXPECT_LE(mon.stats().get("health.probes"),
+              static_cast<double>(policy.maxProbeFailures));
+}
+
+TEST(LinkHealthTest, ToFaultPlanMirrorsObservedState)
+{
+    MultiGpuSystem system(voltaPlatform());
+    LinkHealthMonitor &mon = system.enableHealth();
+
+    for (int i = 0; i < mon.policy().downAfterLosses; ++i)
+        mon.recordLoss(0, 1);
+    for (int i = 0; i < 16; ++i)
+        mon.recordDelivery(2, 3, 64 * KiB, 0, ticksPerSecond);
+    ASSERT_EQ(mon.linkState(0, 1), LinkState::Down);
+    ASSERT_EQ(mon.linkState(2, 3), LinkState::Degraded);
+
+    const FaultPlan plan = mon.toFaultPlan();
+    ASSERT_EQ(plan.episodes.size(), 2u);
+    EXPECT_NO_THROW(plan.validate(system.numGpus()));
+    EXPECT_EQ(plan.episodes[0].kind, FaultKind::LinkDown);
+    EXPECT_EQ(plan.episodes[0].src, 0);
+    EXPECT_EQ(plan.episodes[0].dst, 1);
+    EXPECT_EQ(plan.episodes[1].kind, FaultKind::LinkDegrade);
+    EXPECT_GT(plan.episodes[1].severity, 0.0);
+}
+
+TEST(RerouterTest, PlansDetourAroundDownLink)
+{
+    MultiGpuSystem system(pairwiseVolta());
+    LinkHealthMonitor &mon = system.enableHealth();
+    Rerouter &rr = system.enableReroute();
+
+    // Healthy: one direct leg.
+    auto legs = rr.plan(0, 1);
+    ASSERT_EQ(legs.size(), 1u);
+    EXPECT_LT(legs[0].via, 0);
+
+    for (int i = 0; i < mon.policy().downAfterLosses; ++i)
+        mon.recordLoss(0, 1);
+    legs = rr.plan(0, 1);
+    ASSERT_EQ(legs.size(), 1u);
+    // Deterministic tie-break: lowest healthy relay id (GPU 2).
+    EXPECT_EQ(legs[0].via, 2);
+    EXPECT_DOUBLE_EQ(legs[0].fraction, 1.0);
+}
+
+TEST(RerouterTest, SplitsProportionallyOnDegradedLink)
+{
+    MultiGpuSystem system(pairwiseVolta());
+    LinkHealthMonitor &mon = system.enableHealth();
+    Rerouter &rr = system.enableReroute();
+
+    for (int i = 0; i < 16; ++i)
+        mon.recordDelivery(0, 1, 64 * KiB, 0, ticksPerSecond);
+    ASSERT_EQ(mon.linkState(0, 1), LinkState::Degraded);
+
+    const auto legs = rr.plan(0, 1);
+    ASSERT_EQ(legs.size(), 2u);
+    EXPECT_LT(legs[0].via, 0);
+    EXPECT_GE(legs[1].via, 0);
+    EXPECT_NEAR(legs[0].fraction + legs[1].fraction, 1.0, 1e-9);
+    EXPECT_GE(legs[1].fraction, rr.policy().minSplitFraction);
+}
+
+TEST(RerouterTest, AgentTrafficDetoursAndAllChunksLand)
+{
+    HealthHarness h((pairwiseVolta()));
+    h.system.enableHealth();
+    Rerouter &rr = h.system.enableReroute();
+
+    FaultPlan plan;
+    plan.downLink(0, maxTick, 0, 1); // gpu0 -> gpu1 dead forever.
+    h.system.installFaults(std::move(plan));
+
+    // Chunks become ready over time (as a real producer kernel
+    // drains), so sends issued after the DOWN verdict can detour.
+    PollingAgent agent(
+        h.context(TransferMechanism::Polling, testRetry(6)));
+    const int chunks = 16;
+    auto &eq = h.system.eventQueue();
+    for (int c = 0; c < chunks; ++c) {
+        eq.schedule(static_cast<Tick>(c) * 50 * ticksPerMicrosecond,
+                    [&agent, c] { agent.chunkReady(c, 64 * KiB); });
+    }
+    h.system.run();
+
+    // Exactly-once delivery accounting survives the detours.
+    EXPECT_EQ(h.deliveries, chunks * h.peers());
+    EXPECT_GT(rr.stats().get("reroute.detours"), 0.0);
+    EXPECT_GT(rr.stats().get("reroute.relay_hops"), 0.0);
+    EXPECT_GT(rr.stats().get("reroute.bytes_detoured"), 0.0);
+    EXPECT_EQ(h.system.health()->linkState(0, 1), LinkState::Down);
+}
+
+TEST(RerouterTest, ReroutedRunBeatsRetryOnly)
+{
+    // With gpu0->gpu1 dead from the start, a retry-only run burns its
+    // attempt budget per chunk before the reliable fallback; the
+    // rerouted run walks around the corpse. Detours must win.
+    auto run_scenario = [](bool reroute) {
+        HealthHarness h((pairwiseVolta()));
+        if (reroute)
+            h.system.enableReroute();
+        FaultPlan plan;
+        plan.downLink(0, maxTick, 0, 1);
+        h.system.installFaults(std::move(plan));
+
+        PollingAgent agent(
+            h.context(TransferMechanism::Polling, testRetry(6)));
+        auto &eq = h.system.eventQueue();
+        for (int c = 0; c < 16; ++c) {
+            eq.schedule(
+                static_cast<Tick>(c) * 50 * ticksPerMicrosecond,
+                [&agent, c] { agent.chunkReady(c, 64 * KiB); });
+        }
+        h.system.run();
+        EXPECT_EQ(h.deliveries, 16 * h.peers());
+        return h.lastDelivery;
+    };
+
+    const Tick retry_only = run_scenario(false);
+    const Tick rerouted = run_scenario(true);
+    EXPECT_LT(rerouted, retry_only);
+}
+
+TEST(RerouterTest, IdenticalSeedsReplayTickForTick)
+{
+    auto run_once = [] {
+        HealthHarness h((pairwiseVolta()));
+        h.system.enableReroute();
+        FaultPlan plan;
+        plan.seed = 99;
+        plan.downLink(0, maxTick, 0, 1);
+        plan.dropDeliveries(0, maxTick, 0.05, 2, 3);
+        h.system.installFaults(std::move(plan));
+
+        PollingAgent agent(
+            h.context(TransferMechanism::Polling, testRetry(6)));
+        auto &eq = h.system.eventQueue();
+        for (int c = 0; c < 16; ++c) {
+            eq.schedule(
+                static_cast<Tick>(c) * 50 * ticksPerMicrosecond,
+                [&agent, c] { agent.chunkReady(c, 64 * KiB); });
+        }
+        h.system.run();
+
+        return std::tuple<Tick, int, double, double, double>(
+            h.lastDelivery, h.deliveries,
+            h.system.rerouter()->stats().get("reroute.detours"),
+            h.system.rerouter()->stats().get("reroute.relay_hops"),
+            h.system.health()->stats().get("health.transitions"));
+    };
+
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a, b);
+    EXPECT_GT(std::get<2>(a), 0.0);
+}
+
+TEST(ReprofilerTest, RequiresHealthMonitor)
+{
+    MultiGpuSystem system(voltaPlatform());
+    auto factory = [](int gpus) {
+        auto w = makeSmallWorkload("SSSP");
+        w->setup(gpus);
+        return w;
+    };
+    EXPECT_THROW(AdaptiveReprofiler(system, factory, TransferConfig{}),
+                 FatalError);
+}
+
+TEST(ReprofilerTest, RefreshOnlyAfterLinkStateChange)
+{
+    MultiGpuSystem system(voltaPlatform());
+    LinkHealthMonitor &mon = system.enableHealth();
+    auto factory = [](int gpus) {
+        auto w = makeSmallWorkload("SSSP");
+        w->setup(gpus);
+        return w;
+    };
+    TransferConfig initial;
+    initial.mechanism = TransferMechanism::Polling;
+    initial.chunkBytes = 64 * KiB;
+    initial.transferThreads = 2048;
+    initial.retry = testRetry();
+    AdaptiveReprofiler reprofiler(system, factory, initial);
+
+    // Quiet fabric: refresh is a no-op and costs nothing.
+    EXPECT_FALSE(reprofiler.dirty());
+    EXPECT_FALSE(reprofiler.refresh());
+    EXPECT_DOUBLE_EQ(reprofiler.stats().get("reprofile.sweeps"), 0.0);
+
+    // A link dies: the next refresh runs a narrowed sweep.
+    for (int i = 0; i < mon.policy().downAfterLosses; ++i)
+        mon.recordLoss(0, 1);
+    EXPECT_TRUE(reprofiler.dirty());
+    reprofiler.refresh();
+    EXPECT_FALSE(reprofiler.dirty());
+    EXPECT_DOUBLE_EQ(reprofiler.stats().get("reprofile.sweeps"), 1.0);
+    EXPECT_GT(reprofiler.stats().get("reprofile.candidates"), 0.0);
+    // The adopted config keeps the runtime's retry policy.
+    EXPECT_TRUE(reprofiler.current().retry.enabled);
+}
+
+TEST(ReprofilerTest, RuntimeHotSwapsAtIterationBoundary)
+{
+    auto run_once = [] {
+        auto workload = makeSmallWorkload("Jacobi");
+        workload->setup(4);
+
+        MultiGpuSystem system(voltaPlatform());
+        system.enableHealth();
+        FaultPlan plan;
+        plan.downLink(0, maxTick, 0, 1);
+        system.installFaults(std::move(plan));
+
+        auto factory = [](int gpus) {
+            auto w = makeSmallWorkload("Jacobi");
+            w->setup(gpus);
+            return w;
+        };
+        TransferConfig initial;
+        initial.mechanism = TransferMechanism::Polling;
+        initial.chunkBytes = 64 * KiB;
+        initial.transferThreads = 2048;
+        initial.retry = testRetry();
+        AdaptiveReprofiler reprofiler(system, factory, initial);
+
+        ProactRuntime::Options options;
+        options.config = initial;
+        options.reprofiler = &reprofiler;
+        ProactRuntime runtime(system, options);
+        const Tick ticks = runtime.run(*workload);
+
+        EXPECT_GT(reprofiler.stats().get("reprofile.sweeps"), 0.0);
+        return std::pair<Tick, double>(
+            ticks, reprofiler.stats().get("reprofile.sweeps"));
+    };
+
+    // Deterministic under replay, including the nested online sweeps.
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a, b);
+}
