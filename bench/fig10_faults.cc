@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Figure 10 fault variants: strong scaling under chassis-level faults
+ * on the DGX-2.
+ *
+ * The healthy Fig. 10 study answers "how far does PROACT scale?";
+ * this companion asks "how much of that scaling survives a fault?".
+ * The DGX-2 platform runs at 4, 8 and 16 GPUs, and a quarter of the
+ * way into the healthy makespan one of two correlated chassis events
+ * strikes:
+ *
+ *   plane-degrade  half the NVSwitch planes die: every directed pair
+ *                  keeps running at half bandwidth (degradePlane,
+ *                  dgx2DownSwitchPlanes at the full chassis).
+ *   board-down     one baseboard's switch complex dies: every
+ *                  intra-board pair on that side delivers nothing
+ *                  (downPlane, dgx2DownBaseboard at the full
+ *                  chassis); cross-board pairs survive.
+ *
+ * Two stacked configurations face each plan:
+ *
+ *   retry-only     acknowledged chunks, backoff, reliable fallback.
+ *   adaptive       + health monitoring, epoch-cached multi-relay
+ *                  rerouting, and reroute-aware retry.
+ *
+ * Output is a table plus machine-readable JSON (fig10_faults.json,
+ * or $PROACT_BENCH_JSON) for CI artifacts. Acceptance (ISSUE): at 16
+ * GPUs under the board-down plan the adaptive stack beats retry-only
+ * goodput, and the epoch-keyed plan cache serves >= 10x more lookups
+ * than it computes (i.e. >= 10x cheaper than per-transfer planning).
+ */
+
+#include "bench/bench_common.hh"
+
+#include "faults/fault_plan.hh"
+#include "health/link_health.hh"
+#include "interconnect/rerouter.hh"
+#include "system/platform.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+using namespace proact;
+using namespace proact::bench;
+
+namespace {
+
+TransferConfig
+baseConfig(bool adaptive)
+{
+    TransferConfig config;
+    config.mechanism = TransferMechanism::Polling;
+    config.chunkBytes = 64 * KiB;
+    config.transferThreads = 2048;
+    config.retry.enabled = true;
+    config.retry.maxAttempts = 5;
+    if (adaptive)
+        config.retry.rerouteAfterAttempts = 2;
+    return config;
+}
+
+/**
+ * The chassis event scaled to @p n GPUs: the dgx2 helpers describe
+ * the full 16-GPU chassis; smaller instantiations fault the same
+ * fraction of the machine so the study varies only the GPU count.
+ */
+FaultPlan
+makePlan(const std::string &fault, int n, Tick at)
+{
+    FaultPlan plan;
+    if (fault == "plane-degrade") {
+        if (n == dgx2Platform().numGpus) {
+            dgx2DownSwitchPlanes(plan, at, maxTick,
+                                 dgx2NumSwitchPlanes / 2);
+        } else {
+            std::vector<int> all;
+            for (int g = 0; g < n; ++g)
+                all.push_back(g);
+            plan.degradePlane(at, maxTick, 0.5, all);
+        }
+    } else { // board-down
+        if (n == dgx2Platform().numGpus) {
+            dgx2DownBaseboard(plan, at, maxTick, 0);
+        } else {
+            std::vector<int> board;
+            for (int g = 0; g < n / 2; ++g)
+                board.push_back(g);
+            plan.downPlane(at, maxTick, board);
+        }
+    }
+    return plan;
+}
+
+struct Outcome
+{
+    Tick ticks = 0;
+    double goodputGBps = 0.0;
+    double retried = 0;
+    double replanned = 0;
+    double fallbacks = 0;
+    double reroutes = 0;
+    double planRequests = 0;
+    double planComputes = 0;
+    double transitions = 0;
+};
+
+Outcome
+runOnce(const std::string &app, int n, std::uint64_t scale,
+        const std::string &fault, Tick at, bool adaptive)
+{
+    auto workload = makeScaledWorkload(app, n, scale);
+    MultiGpuSystem system(dgx2Platform().withGpuCount(n));
+    system.setFunctional(false);
+
+    if (!fault.empty())
+        system.installFaults(makePlan(fault, n, at));
+
+    if (adaptive) {
+        // Detour traffic congests relay links, which reads as
+        // degradation; the holdoff keeps those links from flapping at
+        // delivery rate and churning the plan cache.
+        HealthPolicy health;
+        health.transitionHoldoff = 50 * ticksPerMicrosecond;
+        system.enableHealth(health);
+        system.fabric().setRebooking(true);
+        system.enableReroute();
+    }
+
+    ProactRuntime::Options options;
+    options.config = baseConfig(adaptive);
+    ProactRuntime runtime(system, options);
+
+    Outcome out;
+    out.ticks = runtime.run(*workload);
+    const double bytes = runtime.stats().get("delivered_bytes");
+    out.goodputGBps = bytes
+        / (static_cast<double>(out.ticks)
+           / static_cast<double>(ticksPerSecond))
+        / 1e9;
+    out.retried = runtime.stats().get("transfers.retried");
+    out.replanned = runtime.stats().get("transfers.replanned");
+    out.fallbacks = runtime.stats().get("fallback.activations");
+    if (const Rerouter *rr = system.rerouter()) {
+        out.reroutes = rr->stats().get("reroute.detours")
+            + rr->stats().get("reroute.splits");
+        out.planRequests = rr->stats().get("reroute.plan_requests");
+        out.planComputes = rr->stats().get("reroute.plan_computes");
+    }
+    if (const LinkHealthMonitor *mon = system.health())
+        out.transitions = mon->stats().get("health.transitions");
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t scale = envFootprintScale();
+    const std::string app = "Jacobi";
+    const std::vector<int> counts = {4, 8, 16};
+    const std::vector<std::string> faults = {"plane-degrade",
+                                             "board-down"};
+
+    std::cout << "Figure 10 fault variants: DGX-2 scaling under "
+                 "chassis faults (" << app << ")\n"
+              << "fault strikes at 1/4 of the healthy makespan, "
+                 "never recovers\n\n";
+    std::cout << std::left << std::setw(7) << "#GPUs" << std::setw(15)
+              << "fault" << std::setw(12) << "config" << std::right
+              << std::setw(11) << "goodput" << std::setw(10)
+              << "retries" << std::setw(9) << "replans" << std::setw(9)
+              << "fallbks" << std::setw(10) << "reroutes"
+              << std::setw(12) << "plan req" << std::setw(10)
+              << "computed" << std::setw(8) << "trans" << "\n";
+
+    std::ostringstream json;
+    json << "{\n  \"platform\": \"" << dgx2Platform().name
+         << "\",\n  \"app\": \"" << app
+         << "\",\n  \"fault_start_fraction\": 0.25,\n  \"rows\": [";
+
+    bool first_row = true;
+    auto row = [&](int n, const std::string &fault,
+                   const std::string &config, const Outcome &out) {
+        std::cout << std::left << std::setw(7) << n << std::setw(15)
+                  << (fault.empty() ? "none" : fault) << std::setw(12)
+                  << config << std::right
+                  << cell(out.goodputGBps, 11) << std::setw(10)
+                  << static_cast<long>(out.retried) << std::setw(9)
+                  << static_cast<long>(out.replanned) << std::setw(9)
+                  << static_cast<long>(out.fallbacks) << std::setw(10)
+                  << static_cast<long>(out.reroutes) << std::setw(12)
+                  << static_cast<long>(out.planRequests)
+                  << std::setw(10)
+                  << static_cast<long>(out.planComputes)
+                  << std::setw(8)
+                  << static_cast<long>(out.transitions) << "\n";
+        json << (first_row ? "" : ",") << "\n    {\"gpus\": " << n
+             << ", \"fault\": \""
+             << (fault.empty() ? "none" : fault)
+             << "\", \"config\": \"" << config
+             << "\", \"makespan_us\": "
+             << static_cast<double>(out.ticks)
+                / static_cast<double>(ticksPerMicrosecond)
+             << ", \"goodput_gbps\": " << out.goodputGBps
+             << ", \"retried\": " << out.retried
+             << ", \"replanned\": " << out.replanned
+             << ", \"fallbacks\": " << out.fallbacks
+             << ", \"reroutes\": " << out.reroutes
+             << ", \"plan_requests\": " << out.planRequests
+             << ", \"plan_computes\": " << out.planComputes
+             << ", \"health_transitions\": " << out.transitions
+             << "}";
+        first_row = false;
+    };
+
+    bool beats_at_16 = false;
+    double cache_ratio_at_16 = 0.0;
+
+    for (const int n : counts) {
+        const Tick healthy =
+            runOnce(app, n, scale, "", maxTick, false).ticks;
+        const Tick at = healthy / 4;
+        row(n, "", "retry-only",
+            runOnce(app, n, scale, "", maxTick, false));
+
+        for (const auto &fault : faults) {
+            const Outcome retry_only =
+                runOnce(app, n, scale, fault, at, false);
+            const Outcome adaptive =
+                runOnce(app, n, scale, fault, at, true);
+            row(n, fault, "retry-only", retry_only);
+            row(n, fault, "adaptive", adaptive);
+
+            if (n == 16 && fault == "board-down") {
+                beats_at_16 =
+                    adaptive.goodputGBps > retry_only.goodputGBps;
+                if (adaptive.planComputes > 0.0) {
+                    cache_ratio_at_16 = adaptive.planRequests
+                        / adaptive.planComputes;
+                }
+            }
+        }
+    }
+
+    const bool cache_ok = cache_ratio_at_16 >= 10.0;
+    json << "\n  ],\n  \"acceptance\": {\n"
+         << "    \"adaptive_beats_retry_only_at_16\": "
+         << (beats_at_16 ? "true" : "false") << ",\n"
+         << "    \"plan_cache_ratio_at_16\": " << cache_ratio_at_16
+         << ",\n    \"pass\": "
+         << (beats_at_16 && cache_ok ? "true" : "false")
+         << "\n  }\n}\n";
+
+    const char *env = std::getenv("PROACT_BENCH_JSON");
+    const std::string path =
+        env != nullptr && *env != '\0' ? env : "fig10_faults.json";
+    std::ofstream(path) << json.str();
+
+    std::cout << "\nacceptance: adaptive "
+              << (beats_at_16 ? "beats" : "DOES NOT BEAT")
+              << " retry-only goodput at 16 GPUs (board-down); "
+              << "plan cache served "
+              << cell(cache_ratio_at_16, 0, 1)
+              << "x its compute count (need >= 10x)\n"
+              << "JSON written to " << path << "\n";
+    return beats_at_16 && cache_ok ? 0 : 1;
+}

@@ -34,7 +34,10 @@ Collectives::sendChunk(Interconnect::Request req)
     // Every chunk flows through the retrying sender (a disabled
     // policy passes straight to the fabric); with the fault-adaptive
     // runtime on, the rerouter may additionally detour or split the
-    // chunk around unhealthy links.
+    // chunk around unhealthy links, and the sender can re-plan a
+    // chunk mid-retry (refreshed per chunk because enableReroute()
+    // may run after construction).
+    _sender.setRerouter(_system.rerouter());
     if (Rerouter *rr = _system.rerouter()) {
         return rr->send(
             [this](const Interconnect::Request &leg) {

@@ -1,5 +1,7 @@
 #include "faults/retry.hh"
 
+#include "interconnect/rerouter.hh"
+
 #include <algorithm>
 #include <memory>
 #include <utility>
@@ -41,9 +43,38 @@ struct TimeoutState
 
 } // namespace
 
+bool
+RetryingSender::replan(const Interconnect::Request &req,
+                       int attempt_no)
+{
+    const auto &legs = _rerouter->plan(req.src, req.dst);
+    if (legs.size() == 1 && legs[0].direct())
+        return false; // Nothing better than the path we are on.
+
+    bumpStat("transfers.replanned");
+    if (_trace) {
+        _trace->record(_eq.curTick(), _eq.curTick(), "replan",
+                       label(req) + " rerouted after attempt"
+                           + std::to_string(attempt_no));
+    }
+
+    // The rerouter decomposes the payload into legs; every leg (and
+    // relay hop) re-enters the retry machinery with the attempt
+    // counter carried over, so the total budget still bounds the
+    // chain, and replanned legs never re-plan again.
+    Interconnect::Request again = req;
+    again.notBefore = _eq.curTick() + _policy.backoff(attempt_no);
+    _rerouter->send(
+        [this, attempt_no](const Interconnect::Request &leg) {
+            return attempt(leg, attempt_no + 1, true);
+        },
+        std::move(again));
+    return true;
+}
+
 Tick
 RetryingSender::attempt(const Interconnect::Request &req,
-                        int attempt_no)
+                        int attempt_no, bool replanned)
 {
     auto acked = std::make_shared<bool>(false);
     auto tstate = std::make_shared<TimeoutState>();
@@ -86,7 +117,7 @@ RetryingSender::attempt(const Interconnect::Request &req,
 
     tstate->floor = entered + _policy.ackTimeout;
     tstate->when = timeout;
-    tstate->cb = [this, req, attempt_no, acked, submit] {
+    tstate->cb = [this, req, attempt_no, replanned, acked, submit] {
         if (*acked)
             return;
         --_inFlight;
@@ -100,11 +131,21 @@ RetryingSender::attempt(const Interconnect::Request &req,
             fallback(req, submit);
             return;
         }
+        // Reroute-aware retry: once the loss streak has given the
+        // health monitor a chance to reclassify the link, ask the
+        // rerouter for a better route before burning more attempts
+        // on the original path.
+        if (!replanned && _rerouter
+            && _policy.rerouteAfterAttempts > 0
+            && attempt_no >= _policy.rerouteAfterAttempts
+            && replan(req, attempt_no)) {
+            return;
+        }
         bumpStat("transfers.retried");
         Interconnect::Request again = req;
         again.notBefore =
             _eq.curTick() + _policy.backoff(attempt_no);
-        attempt(again, attempt_no + 1);
+        attempt(again, attempt_no + 1, replanned);
     };
     tstate->event = _eq.schedule(timeout, tstate->cb);
 

@@ -18,6 +18,15 @@
  * max(predicted delivery + 1, submission + ackTimeout): a timeout
  * only ever fires for a genuinely lost delivery, which keeps retries
  * duplicate-free and runs deterministic.
+ *
+ * With a Rerouter attached (setRerouter) the sender is additionally
+ * reroute-aware: after rerouteAfterAttempts lost attempts on the
+ * original path it consults the rerouter once, and when the current
+ * health picture offers a better route (a relay fan-out or a
+ * multi-relay chain) the remaining attempts ride that route instead
+ * of burning the rest of the budget on a link the monitor has since
+ * declared DOWN. Only when the re-planned route also keeps losing
+ * does the reliable fallback activate.
  */
 
 #ifndef PROACT_FAULTS_RETRY_HH
@@ -32,6 +41,8 @@
 #include <cstdint>
 
 namespace proact {
+
+class Rerouter;
 
 /** Knobs of the retry state machine. */
 struct RetryPolicy
@@ -49,6 +60,14 @@ struct RetryPolicy
     /** Total send attempts (including the first) before fallback. */
     int maxAttempts = 5;
 
+    /**
+     * Lost attempts on the original path before the sender consults
+     * the rerouter (when one is attached via setRerouter) for an
+     * alternate route. 0 disables reroute-aware retry; the attempt
+     * budget and the reliable fallback are unaffected either way.
+     */
+    int rerouteAfterAttempts = 0;
+
     /** Backoff after failed attempt @p attempt (1-based), capped. */
     Tick
     backoff(int attempt) const
@@ -65,6 +84,7 @@ struct RetryPolicy
  *
  * Stats recorded into the shared StatSet (when present):
  *  - transfers.retried:    re-pushes after a lost delivery
+ *  - transfers.replanned:  retries moved to a rerouter-planned route
  *  - transfers.abandoned:  (transfer, attempt-budget) exhaustions
  *  - fallback.activations: reliable-path re-sends after abandonment
  *
@@ -98,6 +118,13 @@ class RetryingSender
 
     const RetryPolicy &policy() const { return _policy; }
 
+    /**
+     * Attach the route planner consulted after
+     * rerouteAfterAttempts lost attempts (nullptr detaches; retries
+     * then stay on the original path as before).
+     */
+    void setRerouter(Rerouter *rerouter) { _rerouter = rerouter; }
+
     /** Transfers currently awaiting an acknowledgement. */
     std::uint64_t inFlight() const { return _inFlight; }
 
@@ -107,9 +134,24 @@ class RetryingSender
     RetryPolicy _policy;
     StatSet *_stats;
     Trace *_trace;
+    Rerouter *_rerouter = nullptr;
     std::uint64_t _inFlight = 0;
 
-    Tick attempt(const Interconnect::Request &req, int attempt_no);
+    /**
+     * Submit attempt @p attempt_no of @p req. @p replanned marks
+     * legs already moved to a rerouter-planned route: they never
+     * re-plan again, bounding the recursion.
+     */
+    Tick attempt(const Interconnect::Request &req, int attempt_no,
+                 bool replanned = false);
+
+    /**
+     * Re-plan @p req through the rerouter after @p attempt_no lost
+     * attempts. @return false when the rerouter has nothing better
+     * than the direct path (the caller then retries as usual).
+     */
+    bool replan(const Interconnect::Request &req, int attempt_no);
+
     void fallback(const Interconnect::Request &req, Tick first_submit);
     void bumpStat(const std::string &name);
     std::string label(const Interconnect::Request &req) const;

@@ -21,6 +21,8 @@ LinkHealthMonitor::LinkHealthMonitor(EventQueue &eq,
                                      Interconnect &fabric,
                                      HealthPolicy policy)
     : _eq(eq), _fabric(fabric), _policy(std::move(policy)),
+      _rowEpoch(static_cast<std::size_t>(fabric.numGpus()), 0),
+      _colEpoch(static_cast<std::size_t>(fabric.numGpus()), 0),
       _links(static_cast<std::size_t>(fabric.numGpus())
              * fabric.numGpus())
 {
@@ -97,6 +99,22 @@ LinkState
 LinkHealthMonitor::linkState(int src, int dst) const
 {
     return link(src, dst).state;
+}
+
+std::uint64_t
+LinkHealthMonitor::linkEpoch(int src, int dst) const
+{
+    return link(src, dst).epoch;
+}
+
+std::uint64_t
+LinkHealthMonitor::routeEpoch(int src, int dst) const
+{
+    index(src, dst); // Bounds check.
+    return (static_cast<std::uint64_t>(
+                _rowEpoch[static_cast<std::size_t>(src)])
+            << 32)
+        | _colEpoch[static_cast<std::size_t>(dst)];
 }
 
 double
@@ -203,6 +221,14 @@ LinkHealthMonitor::reclassify(int src, int dst)
         return;
     }
 
+    // Dampen flapping: after a recent transition the classification
+    // freezes (DOWN above excepted) until the holdoff elapses, so a
+    // link straddling a threshold can't oscillate at delivery rate.
+    if (l.everTransitioned &&
+        _eq.curTick() - l.lastTransition < _policy.transitionHoldoff) {
+        return;
+    }
+
     const bool enough_samples =
         l.deliveries >= static_cast<std::uint64_t>(_policy.minSamples);
 
@@ -242,6 +268,12 @@ LinkHealthMonitor::setState(int src, int dst, LinkState next)
         return;
     const LinkState prev = l.state;
     l.state = next;
+    ++_epoch;
+    ++_rowEpoch[static_cast<std::size_t>(src)];
+    ++_colEpoch[static_cast<std::size_t>(dst)];
+    l.lastTransition = _eq.curTick();
+    l.everTransitioned = true;
+    ++l.epoch;
 
     _stats.inc("health.transitions");
     switch (next) {

@@ -59,6 +59,17 @@ struct HealthPolicy
     int minSamples = 3;
 
     /**
+     * Minimum time between consecutive state changes of one link.
+     * Transitions to DOWN are exempt (a loss streak means payload is
+     * dying now). Congestion can masquerade as degradation when
+     * detour traffic piles onto a link; a holdoff keeps such links
+     * from flapping HEALTHY <-> DEGRADED at delivery rate. Off by
+     * default: feed-forward harnesses classify whole observation
+     * sequences at one tick, which a holdoff would freeze.
+     */
+    Tick transitionHoldoff = 0;
+
+    /**
      * Probe period for DOWN links (0 disables probing). Probes are
      * tiny non-reliable transfers whose only job is to detect that a
      * link started delivering again.
@@ -118,6 +129,24 @@ class LinkHealthMonitor : public LinkStateProvider
     /** @{ @name LinkStateProvider */
     LinkState linkState(int src, int dst) const override;
     double residualFraction(int src, int dst) const override;
+
+    /**
+     * Bumped once per state transition (== transitions().size()), so
+     * route caches keyed on it revalidate exactly when the observed
+     * topology changed shape.
+     */
+    std::uint64_t healthEpoch() const override { return _epoch; }
+
+    /** Transition count of one directed link. */
+    std::uint64_t linkEpoch(int src, int dst) const override;
+
+    /**
+     * Row/column epoch signature: transitions of any link leaving
+     * @p src or entering @p dst change it; transitions elsewhere
+     * don't. Plans cached per pair stay valid across unrelated
+     * flapping, which on a 16-GPU fabric is most of it.
+     */
+    std::uint64_t routeEpoch(int src, int dst) const override;
     /** @} */
 
     /** Feed one observed delivery (also called by the fabric hook). */
@@ -174,12 +203,22 @@ class LinkHealthMonitor : public LinkStateProvider
         std::uint64_t losses = 0;
         bool probeScheduled = false;
         int probeFailures = 0;
+
+        /** Holdoff bookkeeping (see HealthPolicy::transitionHoldoff). */
+        Tick lastTransition = 0;
+        bool everTransitioned = false;
+
+        /** Transition count of this link (linkEpoch). */
+        std::uint32_t epoch = 0;
     };
 
     EventQueue &_eq;
     Interconnect &_fabric;
     HealthPolicy _policy;
     StatSet _stats;
+    std::uint64_t _epoch = 0;
+    std::vector<std::uint32_t> _rowEpoch;
+    std::vector<std::uint32_t> _colEpoch;
     std::vector<Link> _links;
     std::vector<Listener> _listeners;
     std::vector<Transition> _transitions;

@@ -4,23 +4,36 @@
 
 #include <algorithm>
 #include <memory>
+#include <queue>
 
 namespace proact {
 
-Rerouter::Rerouter(Interconnect &fabric,
+Rerouter::Rerouter(EventQueue &eq, Interconnect &fabric,
                    const LinkStateProvider &health,
                    ReroutePolicy policy)
-    : _fabric(fabric), _health(health), _policy(policy)
+    : _eq(eq), _fabric(fabric), _health(health), _policy(policy)
 {
     if (_policy.relayDiscount <= 0.0 || _policy.relayDiscount > 1.0)
         fatalError("Rerouter: relayDiscount must be in (0, 1]");
+    if (_policy.maxRelayHops < 1)
+        fatalError("Rerouter: maxRelayHops must be positive");
+    if (_policy.maxRelayFanout < 1)
+        fatalError("Rerouter: maxRelayFanout must be positive");
+
+    const std::size_t pairs =
+        static_cast<std::size_t>(fabric.numGpus()) * fabric.numGpus();
+    _cachedPlans.resize(pairs);
+    _cachedLinkEpochs.assign(pairs, 0);
+    _cachedRouteEpochs.assign(pairs, 0);
+    _cachedTicks.assign(pairs, 0);
+    _cacheDirectOnly.assign(pairs, 0);
+    _cacheValid.assign(pairs, 0);
 }
 
-int
-Rerouter::bestVia(int src, int dst, double *score) const
+std::vector<std::pair<int, double>>
+Rerouter::scoredRelays(int src, int dst) const
 {
-    int best = -1;
-    double best_score = 0.0;
+    std::vector<std::pair<int, double>> relays;
     for (int k = 0; k < _fabric.numGpus(); ++k) {
         if (k == src || k == dst)
             continue;
@@ -28,42 +41,219 @@ Rerouter::bestVia(int src, int dst, double *score) const
             std::min(_health.residualFraction(src, k),
                      _health.residualFraction(k, dst))
             * _policy.relayDiscount;
-        if (s > best_score) {
-            best_score = s;
-            best = k;
+        if (s > 0.0)
+            relays.emplace_back(k, s);
+    }
+    // Equal-score ties order by a per-pair rotation of the relay id:
+    // when a dead board leaves every pair the same healthy relay set,
+    // different pairs still pick different relays first, spreading
+    // detour load across the fabric instead of saturating the lowest
+    // ids. Still a pure function of (src, dst, health) — replays are
+    // tick-for-tick identical.
+    const int n = _fabric.numGpus();
+    const auto rotated = [n, src, dst](int id) {
+        return (id + n - (src + dst) % n) % n;
+    };
+    std::sort(relays.begin(), relays.end(),
+              [&rotated](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return rotated(a.first) < rotated(b.first);
+              });
+    return relays;
+}
+
+std::vector<int>
+Rerouter::relayCandidates(int src, int dst) const
+{
+    std::vector<int> ids;
+    for (const auto &[id, score] : scoredRelays(src, dst))
+        ids.push_back(id);
+    return ids;
+}
+
+std::vector<int>
+Rerouter::bfsVias(int src, int dst) const
+{
+    // Shortest path over non-DOWN links, visiting neighbours in id
+    // order so the first path found is the lexicographically smallest
+    // among the shortest — deterministic across replays.
+    const int n = _fabric.numGpus();
+    const int max_edges = _policy.maxRelayHops + 1;
+    std::vector<int> parent(n, -1);
+    std::vector<int> dist(n, -1);
+    std::queue<int> frontier;
+    dist[src] = 0;
+    frontier.push(src);
+
+    while (!frontier.empty()) {
+        const int node = frontier.front();
+        frontier.pop();
+        if (node == dst)
+            break;
+        if (dist[node] >= max_edges)
+            continue;
+        for (int next = 0; next < n; ++next) {
+            if (next == node || dist[next] >= 0)
+                continue;
+            if (_health.linkState(node, next) == LinkState::Down)
+                continue;
+            dist[next] = dist[node] + 1;
+            parent[next] = node;
+            frontier.push(next);
         }
     }
-    if (score)
-        *score = best_score;
-    return best;
+
+    if (dist[dst] < 0 || dist[dst] > max_edges)
+        return {};
+    std::vector<int> vias;
+    for (int node = parent[dst]; node != src; node = parent[node])
+        vias.push_back(node);
+    std::reverse(vias.begin(), vias.end());
+    return vias;
+}
+
+std::vector<double>
+Rerouter::splitFractions(const std::vector<double> &weights,
+                         double min_fraction)
+{
+    std::vector<double> fractions(weights.size(), 0.0);
+    double total = 0.0;
+    for (const double w : weights)
+        total += w;
+    if (total <= 0.0)
+        return fractions;
+
+    // Collapse legs below the split floor and renormalize the
+    // survivors; the heaviest leg always survives.
+    std::vector<char> keep(weights.size(), 1);
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        keep[i] = weights[i] / total >= min_fraction ? 1 : 0;
+    const std::size_t heaviest = static_cast<std::size_t>(
+        std::max_element(weights.begin(), weights.end())
+        - weights.begin());
+    keep[heaviest] = 1;
+
+    double kept_total = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        if (keep[i])
+            kept_total += weights[i];
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        if (keep[i])
+            fractions[i] = weights[i] / kept_total;
+    return fractions;
 }
 
 std::vector<Rerouter::Leg>
-Rerouter::plan(int src, int dst) const
+Rerouter::computePlan(int src, int dst) const
 {
     const LinkState direct = _health.linkState(src, dst);
     if (direct == LinkState::Healthy)
-        return {Leg{-1, 1.0}};
+        return {Leg{{}, 1.0}};
 
-    double relay_score = 0.0;
-    const int via = bestVia(src, dst, &relay_score);
+    auto relays = scoredRelays(src, dst);
+    if (static_cast<int>(relays.size()) > _policy.maxRelayFanout)
+        relays.resize(static_cast<std::size_t>(_policy.maxRelayFanout));
 
     if (direct == LinkState::Down) {
-        if (via < 0)
-            return {Leg{-1, 1.0}}; // No path: direct + retry fallback.
-        return {Leg{via, 1.0}};
+        if (relays.empty()) {
+            // No single relay survives (a dead plane can sever every
+            // two-hop detour): fall back to the shortest multi-relay
+            // chain the health-filtered topology still offers.
+            std::vector<int> vias = bfsVias(src, dst);
+            if (vias.empty())
+                return {Leg{{}, 1.0}}; // No path: direct + retry.
+            return {Leg{std::move(vias), 1.0}};
+        }
+        std::vector<double> weights;
+        for (const auto &[id, score] : relays)
+            weights.push_back(score);
+        const auto fractions =
+            splitFractions(weights, _policy.minSplitFraction);
+        std::vector<Leg> legs;
+        for (std::size_t i = 0; i < relays.size(); ++i) {
+            if (fractions[i] > 0.0)
+                legs.push_back(Leg{{relays[i].first}, fractions[i]});
+        }
+        return legs;
     }
 
-    // DEGRADED: split proportionally to residual bandwidth, relay
-    // discounted for its double wire cost.
+    // DEGRADED: split between the direct link and the relay fan-out,
+    // proportionally to residual bandwidth (relays discounted for
+    // their extra wire cost). A relay only joins when its discounted
+    // bottleneck beats the direct residual by relayAdvantage — when
+    // the whole fabric is degraded uniformly (a dead NVSwitch
+    // plane), every detour pays double wire for the same bandwidth
+    // and the plan stays direct.
     const double residual = _health.residualFraction(src, dst);
-    if (via < 0 || relay_score <= 0.0)
-        return {Leg{-1, 1.0}};
-    const double relay_fraction =
-        relay_score / (residual + relay_score);
-    if (relay_fraction < _policy.minSplitFraction)
-        return {Leg{-1, 1.0}};
-    return {Leg{-1, 1.0 - relay_fraction}, Leg{via, relay_fraction}};
+    while (!relays.empty() &&
+           relays.back().second
+               <= residual * _policy.relayAdvantage) {
+        relays.pop_back();
+    }
+    if (relays.empty())
+        return {Leg{{}, 1.0}};
+    std::vector<double> weights{residual};
+    for (const auto &[id, score] : relays)
+        weights.push_back(score);
+    const auto fractions =
+        splitFractions(weights, _policy.minSplitFraction);
+
+    std::vector<Leg> legs;
+    if (fractions[0] > 0.0)
+        legs.push_back(Leg{{}, fractions[0]});
+    for (std::size_t i = 0; i < relays.size(); ++i) {
+        if (fractions[i + 1] > 0.0)
+            legs.push_back(Leg{{relays[i].first}, fractions[i + 1]});
+    }
+    if (legs.empty())
+        return {Leg{{}, 1.0}};
+    return legs;
+}
+
+const std::vector<Rerouter::Leg> &
+Rerouter::plan(int src, int dst) const
+{
+    _stats.inc("reroute.plan_requests");
+
+    const std::size_t idx =
+        static_cast<std::size_t>(src) * _fabric.numGpus() + dst;
+
+    bool valid = _cacheValid.at(idx);
+    if (valid &&
+        _health.linkEpoch(src, dst) != _cachedLinkEpochs[idx]) {
+        // The direct link changed state: the plan's shape (direct vs
+        // detour vs split) is wrong, not just its weights. Always
+        // recompute.
+        valid = false;
+    } else if (valid && !_cacheDirectOnly[idx] &&
+               _health.routeEpoch(src, dst)
+                   != _cachedRouteEpochs[idx]) {
+        // Only relay conditions drifted: tolerate the stale split
+        // weights for up to planTtl before recomputing, so endpoint
+        // congestion flapping relay links can't force a recompute
+        // per transfer.
+        valid = _policy.planTtl > 0
+            && _eq.curTick() - _cachedTicks[idx] < _policy.planTtl;
+    }
+
+    if (valid) {
+        _stats.inc("reroute.plan_cache_hits");
+    } else {
+        _stats.inc("reroute.plan_computes");
+        _cachedPlans[idx] = computePlan(src, dst);
+        // A plan computed on a HEALTHY direct link read nothing but
+        // that link; marking it direct-only exempts it from the
+        // routeEpoch check so relay flapping elsewhere in its
+        // row/column can't evict it.
+        _cacheDirectOnly[idx] =
+            _health.linkState(src, dst) == LinkState::Healthy ? 1 : 0;
+        _cachedLinkEpochs[idx] = _health.linkEpoch(src, dst);
+        _cachedRouteEpochs[idx] = _health.routeEpoch(src, dst);
+        _cachedTicks[idx] = _eq.curTick();
+        _cacheValid[idx] = 1;
+    }
+    return _cachedPlans[idx];
 }
 
 Tick
@@ -75,23 +265,38 @@ Rerouter::sendLeg(const Submit &submit,
     Interconnect::Request req = base;
     req.bytes = bytes;
 
-    if (leg.via < 0) {
+    if (leg.direct()) {
         req.onComplete = arrived;
         return submit(req);
     }
 
-    // Relay: first hop src -> via; on its delivery the second hop
-    // via -> dst is submitted through the same functor, and only its
-    // delivery counts as arrival.
-    _stats.inc("reroute.relay_hops");
+    _stats.inc("reroute.relay_hops",
+               static_cast<double>(leg.vias.size()));
     _stats.inc("reroute.bytes_detoured", bytes);
+
+    // Node sequence src -> vias... -> dst; every hop after the first
+    // is submitted on the previous hop's delivery, and only the final
+    // hop's delivery counts as arrival. Build the chain back to
+    // front.
+    std::vector<int> nodes;
+    nodes.push_back(req.src);
+    for (const int via : leg.vias)
+        nodes.push_back(via);
+    nodes.push_back(req.dst);
+
+    std::function<void()> tail = arrived;
+    for (std::size_t i = nodes.size() - 1; i >= 2; --i) {
+        Interconnect::Request hop = req;
+        hop.src = nodes[i - 1];
+        hop.dst = nodes[i];
+        hop.notBefore = 0;
+        hop.onComplete = tail;
+        tail = [submit, hop] { submit(hop); };
+    }
+
     Interconnect::Request first = req;
-    first.dst = leg.via;
-    Interconnect::Request second = req;
-    second.src = leg.via;
-    second.notBefore = 0;
-    second.onComplete = arrived;
-    first.onComplete = [submit, second] { submit(second); };
+    first.dst = nodes[1];
+    first.onComplete = tail;
     return submit(first);
 }
 
@@ -100,11 +305,13 @@ Rerouter::send(const Submit &submit, Interconnect::Request req)
 {
     std::vector<Leg> legs = plan(req.src, req.dst);
 
-    const bool splittable = req.bytes >= _policy.minSplitBytes;
-    if (legs.size() > 1 && !splittable)
-        legs = {Leg{-1, 1.0}};
+    // Payloads too small to split ride the best single leg whole:
+    // the direct link on a DEGRADED split (legs[0]), the best relay
+    // on a DOWN fan-out.
+    if (legs.size() > 1 && req.bytes < _policy.minSplitBytes)
+        legs = {Leg{legs[0].vias, 1.0}};
 
-    if (legs.size() == 1 && legs[0].via < 0) {
+    if (legs.size() == 1 && legs[0].direct()) {
         if (_health.linkState(req.src, req.dst) == LinkState::Down)
             _stats.inc("reroute.no_path");
         return submit(req); // Healthy or no better route: unchanged.

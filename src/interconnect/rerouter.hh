@@ -4,19 +4,34 @@
  *
  * The Rerouter consults a LinkStateProvider (normally the
  * LinkHealthMonitor) before a transfer books wire time. A DOWN direct
- * link means the payload detours through the relay GPU whose two legs
- * have the most residual bandwidth (e.g. GPU0 -> GPU2 -> GPU1 when
- * the 0<->1 link died); a DEGRADED direct link means the payload is
- * split between the direct link and the best relay, proportionally to
- * their residual bandwidth. Relay paths cost double wire, so their
- * score is discounted before comparing against the direct link.
+ * link means the payload detours around it: the fan-out of healthy
+ * single-relay candidates splits the payload proportionally to their
+ * residual bandwidth (GPU0 -> GPUk -> GPU1 for several k when the
+ * 0<->1 link died), and when no single relay survives — a whole
+ * NVSwitch plane or baseboard down — a bounded BFS over the
+ * health-filtered topology finds the shortest multi-relay path. A
+ * DEGRADED direct link splits the payload between the direct link and
+ * the relay fan-out, proportionally to residual bandwidth. Relay
+ * paths cost extra wire, so their score is discounted per hop before
+ * competing with the direct link.
+ *
+ * Plans are cached per (src, dst) and keyed on exactly what they
+ * read. A plan computed while the direct link was HEALTHY read only
+ * that link, so it revalidates against the provider's linkEpoch (its
+ * transition count); any other plan read the whole row/column (relay
+ * scores) and revalidates against routeEpoch, which changes only when
+ * a link leaving src or entering dst transitions. On a 16-GPU DGX-2
+ * under a dead baseboard this means the 184 still-healthy pairs never
+ * recompute while relay-loaded links flap, and a transition
+ * invalidates at most 2n-1 of the n^2 plans — all at one integer
+ * compare per lookup.
  *
  * The rerouter never submits traffic itself: callers hand it a submit
  * functor (RetryingSender::send, Interconnect::transfer, ...) and the
- * rerouter decomposes the request into legs, forwarding each through
- * that functor. The original onComplete fires exactly once, when the
- * last leg has fully landed, so delivery accounting upstream (e.g.
- * ProactRuntime's expected-vs-seen counters) is preserved. All
+ * rerouter decomposes the request into legs, forwarding each hop
+ * through that functor. The original onComplete fires exactly once,
+ * when the last leg has fully landed, so delivery accounting upstream
+ * (e.g. ProactRuntime's expected-vs-seen counters) is preserved. All
  * decisions are pure functions of the health snapshot, so runs
  * replay tick-for-tick.
  */
@@ -26,6 +41,7 @@
 
 #include "interconnect/interconnect.hh"
 #include "interconnect/link_state.hh"
+#include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -39,8 +55,8 @@ namespace proact {
 struct ReroutePolicy
 {
     /**
-     * Don't bother splitting when the relay would carry less than
-     * this fraction of the payload (overhead beats benefit).
+     * Don't bother splitting when a leg would carry less than this
+     * fraction of the payload (overhead beats benefit).
      */
     double minSplitFraction = 0.15;
 
@@ -48,56 +64,124 @@ struct ReroutePolicy
     std::uint64_t minSplitBytes = 4 * KiB;
 
     /**
-     * Relay paths consume wire on two links; their residual-bandwidth
-     * score is multiplied by this before competing with the direct
-     * link.
+     * Relay paths consume wire on multiple links; their
+     * residual-bandwidth score is multiplied by this once per hop
+     * beyond the first before competing with the direct link.
      */
     double relayDiscount = 0.5;
+
+    /**
+     * Longest detour the BFS fallback may plan, counted in relay
+     * GPUs (a path src -> a -> b -> dst has two). Bounds planning
+     * cost and keeps pathological detours off large fabrics.
+     */
+    int maxRelayHops = 3;
+
+    /**
+     * How many single-relay candidates a detour or split fans out
+     * across. On a DGX-2 a dead pair leaves 14 healthy relays;
+     * spreading the payload over several of them multiplies the
+     * detour bandwidth instead of hammering one relay's wires.
+     */
+    int maxRelayFanout = 4;
+
+    /**
+     * A relay only joins a DEGRADED-link split when its discounted
+     * bottleneck score beats the direct residual by this factor. A
+     * relay leg consumes egress wire at the source AND at the relay,
+     * so a marginal win is a real loss — notably when the whole
+     * fabric degrades uniformly (a dead NVSwitch plane) and
+     * momentarily-healthy relay legs would otherwise siphon payload
+     * onto equally-degraded wires and congest them further. The
+     * split stays reserved for severe degradation, where the direct
+     * link is nearly useless; DOWN-link detours are unaffected.
+     */
+    double relayAdvantage = 2.0;
+
+    /**
+     * Staleness tolerance for cached relay plans. A direct-link state
+     * change always invalidates immediately (the plan's shape is
+     * wrong); drift in *relay* conditions — endpoint congestion
+     * flapping links between HEALTHY and DEGRADED — only re-weights
+     * split fractions, so a relay plan tolerates it for up to this
+     * long before recomputing. 0 recomputes on every relay-side
+     * transition.
+     */
+    Tick planTtl = 200 * ticksPerMicrosecond;
 };
 
 /**
  * Plans alternate routes from the live link-health classification.
  *
  * Stats (read via stats()):
- *  - reroute.detours:        transfers moved entirely off a DOWN link
- *  - reroute.splits:         transfers split across direct + relay
- *  - reroute.relay_hops:     second-leg submissions via a relay GPU
- *  - reroute.bytes_detoured: payload bytes that avoided the direct link
- *  - reroute.no_path:        DOWN link with no usable relay (sent
- *                            direct; the retry fallback guarantees it)
+ *  - reroute.detours:          transfers moved entirely off a DOWN link
+ *  - reroute.splits:           transfers split across multiple legs
+ *  - reroute.relay_hops:       relay-hop submissions (one per via)
+ *  - reroute.bytes_detoured:   payload bytes that avoided the direct link
+ *  - reroute.no_path:          DOWN link with no usable route at all
+ *                              (sent direct; the retry fallback
+ *                              guarantees it)
+ *  - reroute.plan_requests:    route lookups (one per send)
+ *  - reroute.plan_computes:    lookups that had to compute the plan
+ *  - reroute.plan_cache_hits:  lookups served from the epoch cache
  */
 class Rerouter
 {
   public:
-    /** One planned leg: direct (via < 0) or relayed through @c via. */
+    /**
+     * One planned leg: a relay chain src -> vias... -> dst carrying a
+     * fraction of the payload. An empty via list is the direct link.
+     */
     struct Leg
     {
-        int via = -1;
+        std::vector<int> vias;
         double fraction = 1.0;
+
+        bool direct() const { return vias.empty(); }
+
+        /** First relay GPU, or -1 for the direct leg. */
+        int via() const { return vias.empty() ? -1 : vias.front(); }
     };
 
     /** Functor that actually books a (single-link) transfer. */
     using Submit = std::function<Tick(const Interconnect::Request &)>;
 
-    Rerouter(Interconnect &fabric, const LinkStateProvider &health,
+    Rerouter(EventQueue &eq, Interconnect &fabric,
+             const LinkStateProvider &health,
              ReroutePolicy policy = {});
 
     /**
      * Current route decision for src -> dst: one direct leg when the
-     * link is healthy (or nothing better exists), a single relay leg
-     * when it is DOWN, or a proportional direct+relay split when it
-     * is DEGRADED.
+     * link is healthy (or nothing better exists), a relay fan-out
+     * (or, failing that, one BFS multi-relay path) when it is DOWN,
+     * or a proportional direct+relay split when it is DEGRADED.
+     *
+     * Served from the epoch-keyed cache: the plan is recomputed when
+     * the direct link changes state, and otherwise at most once per
+     * planTtl while relay conditions drift. Split fractions therefore
+     * reflect the residual bandwidth observed at the last recompute,
+     * not the per-delivery EWMA drift in between.
      */
-    std::vector<Leg> plan(int src, int dst) const;
+    const std::vector<Leg> &plan(int src, int dst) const;
+
+    /**
+     * Healthy single-relay candidates for src -> dst, best first.
+     * Equal scores order by a deterministic per-pair rotation, so
+     * different pairs spread their detours across different relays
+     * instead of all hammering the lowest ids. Distinct relays are
+     * vertex-disjoint detours by construction, so candidates.size()
+     * counts the fabric's redundancy for this pair.
+     */
+    std::vector<int> relayCandidates(int src, int dst) const;
 
     /**
      * Decompose @p req along plan(src, dst) and forward every leg
      * through @p submit. The request's onComplete fires exactly once,
-     * after all legs (including relay second hops) have landed.
+     * after all legs (including relay hops) have landed.
      *
      * @return Predicted delivery tick of the slowest first-hop leg —
      *         exact for direct routes, a lower bound when a relay's
-     *         second hop extends past it.
+     *         later hops extend past it.
      */
     Tick send(const Submit &submit, Interconnect::Request req);
 
@@ -107,17 +191,50 @@ class Rerouter
     const StatSet &stats() const { return _stats; }
 
   private:
+    EventQueue &_eq;
     Interconnect &_fabric;
     const LinkStateProvider &_health;
     ReroutePolicy _policy;
-    StatSet _stats;
+    mutable StatSet _stats;
 
     /**
-     * Relay GPU with the best min-residual on both legs (discounted);
-     * -1 when no relay has usable bandwidth. Ties break to the lowest
-     * GPU id for determinism.
+     * Epoch-keyed plan cache, indexed src * numGpus + dst. Entries
+     * computed on a HEALTHY direct link key on linkEpoch (they read
+     * nothing else); the rest key on linkEpoch + routeEpoch with the
+     * planTtl staleness window for relay-side drift.
      */
-    int bestVia(int src, int dst, double *score = nullptr) const;
+    mutable std::vector<std::vector<Leg>> _cachedPlans;
+    mutable std::vector<std::uint64_t> _cachedLinkEpochs;
+    mutable std::vector<std::uint64_t> _cachedRouteEpochs;
+    mutable std::vector<Tick> _cachedTicks;
+    mutable std::vector<char> _cacheDirectOnly;
+    mutable std::vector<char> _cacheValid;
+
+    std::vector<Leg> computePlan(int src, int dst) const;
+
+    /**
+     * Scored single-relay candidates (relay id, discounted score),
+     * best first; empty when no relay has usable bandwidth on both
+     * legs. Ties break by a deterministic per-pair rotation of the
+     * relay ids (load spreading without randomness).
+     */
+    std::vector<std::pair<int, double>>
+    scoredRelays(int src, int dst) const;
+
+    /**
+     * Shortest src -> dst relay chain over non-DOWN links, at most
+     * maxRelayHops vias, lowest-id-first tie-break; empty when the
+     * destination is unreachable within the bound.
+     */
+    std::vector<int> bfsVias(int src, int dst) const;
+
+    /**
+     * Proportional fractions for weighted legs, collapsing legs below
+     * minSplitFraction and renormalizing the survivors.
+     */
+    static std::vector<double>
+    splitFractions(const std::vector<double> &weights,
+                   double min_fraction);
 
     /** Submit one leg carrying @p bytes; joins via @p arrived. */
     Tick sendLeg(const Submit &submit,

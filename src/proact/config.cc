@@ -170,6 +170,20 @@ envRetryPolicy()
     const char *env = std::getenv("PROACT_RETRY_MAX_ATTEMPTS");
     if (env != nullptr && *env != '\0')
         policy.maxAttempts = std::clamp(std::atoi(env), 1, 16);
+
+    // Reroute-aware retry defaults on whenever rerouting itself is
+    // on: two lost attempts is exactly the streak that can flip a
+    // link to DOWN (the first loss plus downAfterLosses reached while
+    // retries overlap), so consulting the rerouter then is cheap and
+    // never earlier than the health picture can change.
+    if (envRerouteEnabled()) {
+        policy.rerouteAfterAttempts = 2;
+        const char *after = std::getenv("PROACT_RETRY_REROUTE_AFTER");
+        if (after != nullptr && *after != '\0') {
+            policy.rerouteAfterAttempts =
+                std::clamp(std::atoi(after), 0, 16);
+        }
+    }
     return policy;
 }
 

@@ -91,6 +91,11 @@ std::vector<std::uint32_t> threadCountSweep();
  *  - PROACT_FAULT_SEED          drop-decision seed (default 1)
  *  - PROACT_RETRY_MAX_ATTEMPTS  retry budget before the reliable
  *                               fallback (default 5, clamp [1, 16])
+ *  - PROACT_RETRY_REROUTE_AFTER lost attempts before a retrying
+ *                               transfer consults the rerouter for an
+ *                               alternate route (default 2 when
+ *                               rerouting is on, clamp [0, 16];
+ *                               0 = never re-plan mid-retry)
  *
  * Fault-adaptive runtime knobs (each defaults to on whenever
  * PROACT_FAULTS is on; set to 0 to ablate one layer):

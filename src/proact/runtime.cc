@@ -136,6 +136,7 @@ ProactRuntime::runPhase(const Phase &phase,
                     _system.eventQueue(), _system.fabric(),
                     _options.config.retry, &_stats,
                     _system.trace());
+                senders[g]->setRerouter(_system.rerouter());
                 sender = senders[g].get();
             }
             launches.push_back(instrumentInline(

@@ -53,6 +53,10 @@ TransferAgent::pushToPeers(std::uint64_t bytes, Tick not_before,
         // this push around a DOWN link or split it across a DEGRADED
         // one; every leg still flows through the retrying sender and
         // onDelivered fires exactly once, at the last leg's landing.
+        // The sender also holds the rerouter so a loss streak can
+        // re-plan mid-retry (refreshed here because enableReroute()
+        // may run after agent construction).
+        _sender.setRerouter(system.rerouter());
         if (Rerouter *rr = system.rerouter()) {
             last = std::max(
                 last, rr->send(

@@ -57,7 +57,7 @@ MultiGpuSystem::enableReroute(ReroutePolicy policy)
 {
     if (!_rerouter) {
         enableHealth();
-        _rerouter = std::make_unique<Rerouter>(*_fabric, *_health,
+        _rerouter = std::make_unique<Rerouter>(_eq, *_fabric, *_health,
                                                policy);
         for (auto &dma : _dmas)
             dma->setRerouter(_rerouter.get());

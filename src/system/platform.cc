@@ -1,5 +1,7 @@
 #include "system/platform.hh"
 
+#include "sim/logging.hh"
+
 namespace proact {
 
 PlatformSpec
@@ -38,6 +40,38 @@ allPlatforms()
 {
     return {keplerPlatform(), pascalPlatform(), voltaPlatform(),
             dgx2Platform()};
+}
+
+std::vector<int>
+dgx2Baseboard(int board)
+{
+    if (board < 0 || board > 1)
+        fatalError("dgx2Baseboard: board must be 0 or 1, got ", board);
+    std::vector<int> gpus;
+    for (int g = 0; g < dgx2GpusPerBaseboard; ++g)
+        gpus.push_back(board * dgx2GpusPerBaseboard + g);
+    return gpus;
+}
+
+FaultPlan &
+dgx2DownSwitchPlanes(FaultPlan &plan, Tick start, Tick end, int planes)
+{
+    if (planes < 1 || planes >= dgx2NumSwitchPlanes) {
+        fatalError("dgx2DownSwitchPlanes: planes must be in [1, ",
+                   dgx2NumSwitchPlanes - 1, "], got ", planes);
+    }
+    std::vector<int> all;
+    for (int g = 0; g < dgx2Platform().numGpus; ++g)
+        all.push_back(g);
+    const double fraction =
+        static_cast<double>(planes) / dgx2NumSwitchPlanes;
+    return plan.degradePlane(start, end, fraction, all);
+}
+
+FaultPlan &
+dgx2DownBaseboard(FaultPlan &plan, Tick start, Tick end, int board)
+{
+    return plan.downPlane(start, end, dgx2Baseboard(board));
 }
 
 } // namespace proact

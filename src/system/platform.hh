@@ -10,6 +10,7 @@
 #ifndef PROACT_SYSTEM_PLATFORM_HH
 #define PROACT_SYSTEM_PLATFORM_HH
 
+#include "faults/fault_plan.hh"
 #include "gpu/gpu_spec.hh"
 #include "interconnect/fabric.hh"
 
@@ -54,6 +55,47 @@ std::vector<PlatformSpec> quadPlatforms();
 
 /** All four Table I platforms. */
 std::vector<PlatformSpec> allPlatforms();
+
+/** @{ @name DGX-2 fault topology
+ *
+ * The DGX-2 chassis is two baseboards of 8 GPUs; each GPU's six
+ * NVLink ports ride six parallel NVSwitch planes, each plane carrying
+ * 1/6 of every pair's bandwidth. Physical failures are therefore
+ * correlated: a plane dying shaves 1/6 off all 240 directed pairs at
+ * once, and a baseboard's switch complex dying severs every
+ * intra-board pair on that side while cross-board trunks (served by
+ * the surviving board) live on. These helpers express those grouped
+ * events as FaultPlan plane episodes so benchmarks and tests model
+ * chassis-level faults instead of hand-picking links.
+ */
+
+/** Parallel NVSwitch planes per DGX-2 chassis. */
+constexpr int dgx2NumSwitchPlanes = 6;
+
+/** GPUs per DGX-2 baseboard. */
+constexpr int dgx2GpusPerBaseboard = 8;
+
+/** GPU ids of baseboard @p board (0 => {0..7}, 1 => {8..15}). */
+std::vector<int> dgx2Baseboard(int board);
+
+/**
+ * @p planes of the six NVSwitch planes die for [start, end):
+ * every directed pair among the 16 GPUs loses planes/6 of its
+ * bandwidth, as one correlated plane group. @p planes in [1, 5] —
+ * all six dying is a chassis loss no reroute can survive.
+ */
+FaultPlan &dgx2DownSwitchPlanes(FaultPlan &plan, Tick start, Tick end,
+                                int planes = 1);
+
+/**
+ * Baseboard @p board's switch complex dies for [start, end): all
+ * intra-board directed pairs go DOWN as one correlated group.
+ * Cross-board pairs survive on the other board's switches, so
+ * multi-relay routes through the healthy board remain plannable.
+ */
+FaultPlan &dgx2DownBaseboard(FaultPlan &plan, Tick start, Tick end,
+                             int board);
+/** @} */
 
 } // namespace proact
 

@@ -530,6 +530,67 @@ TEST(RebookingTest, RetryHorizonFollowsASlowedDelivery)
     EXPECT_DOUBLE_EQ(h.stats.get("transfers.abandoned"), 0.0);
 }
 
+TEST(RetryRerouteTest, ReplansThroughRerouterInsteadOfFallback)
+{
+    // Reroute-aware retry: after rerouteAfterAttempts lost attempts
+    // the sender consults the rerouter instead of burning the rest of
+    // its budget on the dead wire. By the time the replan finds a
+    // relay plan the loss streak has marked the link DOWN, so every
+    // chunk completes through relays — the reliable fallback never
+    // fires.
+    PlatformSpec platform = voltaPlatform();
+    platform.fabric.topology = FabricTopology::PairwiseLinks;
+    FaultHarness h(platform);
+    h.system.enableHealth();
+    h.system.enableReroute();
+
+    FaultPlan plan;
+    plan.downLink(0, maxTick, 0, 1);
+    h.system.installFaults(std::move(plan));
+
+    RetryPolicy retry = testRetry(8);
+    retry.rerouteAfterAttempts = 2;
+    PollingAgent agent(
+        h.context(TransferMechanism::Polling, retry));
+    const int chunks = 4;
+    auto &eq = h.system.eventQueue();
+    for (int c = 0; c < chunks; ++c) {
+        eq.schedule(static_cast<Tick>(c) * 20 * ticksPerMicrosecond,
+                    [&agent, c] { agent.chunkReady(c, 64 * KiB); });
+    }
+    h.system.run();
+
+    EXPECT_EQ(h.deliveries, chunks * h.peers());
+    EXPECT_GT(h.stats.get("transfers.retried"), 0.0);
+    EXPECT_GT(h.stats.get("transfers.replanned"), 0.0);
+    EXPECT_DOUBLE_EQ(h.stats.get("fallback.activations"), 0.0);
+    EXPECT_EQ(h.system.health()->linkState(0, 1), LinkState::Down);
+}
+
+TEST(RetryRerouteTest, DisabledKnobNeverReplans)
+{
+    // rerouteAfterAttempts = 0 keeps the pre-reroute behavior even
+    // with a rerouter installed: exhaust attempts, then fall back.
+    PlatformSpec platform = voltaPlatform();
+    platform.fabric.topology = FabricTopology::PairwiseLinks;
+    FaultHarness h(platform);
+    h.system.enableHealth();
+    h.system.enableReroute();
+
+    FaultPlan plan;
+    plan.downLink(0, maxTick, 0, 1);
+    h.system.installFaults(std::move(plan));
+
+    HardwareAgent agent(
+        h.context(TransferMechanism::Hardware, testRetry(3)));
+    agent.chunkReady(0, 64 * KiB);
+    h.system.run();
+
+    EXPECT_EQ(h.deliveries, h.peers());
+    EXPECT_DOUBLE_EQ(h.stats.get("transfers.replanned"), 0.0);
+    EXPECT_GT(h.stats.get("fallback.activations"), 0.0);
+}
+
 TEST(FaultInjectorTest, ArmTwiceIsFatal)
 {
     MultiGpuSystem system(voltaPlatform());

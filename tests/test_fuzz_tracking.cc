@@ -6,15 +6,20 @@
  * must conserve bytes.
  */
 
+#include "faults/fault_plan.hh"
 #include "interconnect/interconnect.hh"
+#include "interconnect/rerouter.hh"
 #include "proact/region.hh"
+#include "proact/transfer_agent.hh"
 #include "sim/random.hh"
+#include "system/platform.hh"
 
 #include "sim/logging.hh"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 #include <vector>
 
 using namespace proact;
@@ -119,3 +124,83 @@ TEST_P(TrackingFuzz, RandomFabricTrafficConservesBytes)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrackingFuzz,
                          ::testing::Values(1u, 42u, 20260706u));
+
+/**
+ * Seeded random fault campaigns on the full 16-GPU DGX-2 with the
+ * whole adaptive stack armed: whatever combination of link deaths,
+ * degradations and correlated plane events the generator draws, every
+ * chunk must land on every peer exactly once — across retries,
+ * multi-relay reroutes and reliable fallbacks — and the entire run
+ * must replay tick-for-tick from the same seed.
+ */
+class Dgx2FaultFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Dgx2FaultFuzz, ExactlyOnceDeliveryAndDeterministicReplay)
+{
+    auto run_once = [](std::uint64_t seed) {
+        MultiGpuSystem system(dgx2Platform());
+        system.setFunctional(false);
+        system.enableHealth();
+        Rerouter &rr = system.enableReroute();
+
+        RandomFaultOptions options;
+        options.numEvents = 6;
+        options.planeProbability = 0.3;
+        options.planeSize = 4;
+        system.installFaults(
+            randomFaultPlan(seed, system.numGpus(), options));
+
+        StatSet stats;
+        int deliveries = 0;
+        Tick last = 0;
+        TransferAgent::Context ctx;
+        ctx.system = &system;
+        ctx.gpuId = 0;
+        ctx.config.mechanism = TransferMechanism::Polling;
+        ctx.config.chunkBytes = 64 * KiB;
+        ctx.config.transferThreads = 2048;
+        ctx.config.retry.enabled = true;
+        ctx.config.retry.maxAttempts = 6;
+        ctx.config.retry.rerouteAfterAttempts = 2;
+        ctx.stats = &stats;
+        ctx.onDelivered = [&deliveries, &last,
+                           &system](std::uint64_t) {
+            ++deliveries;
+            last = system.now();
+        };
+        PollingAgent agent(ctx);
+
+        const int chunks = 6;
+        auto &eq = system.eventQueue();
+        for (int c = 0; c < chunks; ++c) {
+            eq.schedule(
+                static_cast<Tick>(c) * 40 * ticksPerMicrosecond,
+                [&agent, c] { agent.chunkReady(c, 64 * KiB); });
+        }
+        system.run();
+
+        // Exactly once: a lost chunk and a duplicated chunk both
+        // break the equality.
+        EXPECT_EQ(deliveries, chunks * (system.numGpus() - 1))
+            << "seed " << seed;
+
+        return std::make_tuple(
+            last, deliveries, stats.get("transfers.retried"),
+            stats.get("transfers.replanned"),
+            stats.get("fallback.activations"),
+            rr.stats().get("reroute.detours")
+                + rr.stats().get("reroute.splits"),
+            rr.stats().get("reroute.relay_hops"),
+            system.health()->stats().get("health.transitions"));
+    };
+
+    const auto a = run_once(GetParam());
+    const auto b = run_once(GetParam());
+    EXPECT_EQ(a, b) << "seed " << GetParam()
+                    << " did not replay deterministically";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Dgx2FaultFuzz,
+                         ::testing::Range<std::uint64_t>(1u, 25u));
