@@ -20,6 +20,8 @@
  *
  * The acceptance bar (ISSUE): rerouting + reprofiling completes
  * strictly faster than retry-only under the identical fault plan.
+ * Emits a machine-readable summary (ablation_reroute.json or
+ * $PROACT_BENCH_JSON) uploaded as a CI artifact.
  */
 
 #include "bench/bench_common.hh"
@@ -29,8 +31,12 @@
 #include "interconnect/rerouter.hh"
 #include "proact/reprofiler.hh"
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 using namespace proact;
 using namespace proact::bench;
@@ -137,17 +143,33 @@ main()
               << "fallbks" << std::setw(10) << "detours"
               << std::setw(8) << "sweeps" << "\n";
 
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"ablation_reroute\",\n  \"app\": \""
+         << app << "\",\n  \"down_at_ticks\": " << down_at
+         << ",\n  \"rows\": [";
+    bool first_row = true;
+
     auto row = [&](const std::string &label, const Outcome &out) {
+        const double slowdown = static_cast<double>(out.ticks)
+            / static_cast<double>(healthy);
         std::cout << std::left << std::setw(22) << label << std::right
                   << std::setw(11) << std::fixed
-                  << std::setprecision(2)
-                  << static_cast<double>(out.ticks)
-                         / static_cast<double>(healthy)
-                  << "x" << std::setw(10)
+                  << std::setprecision(2) << slowdown << "x"
+                  << std::setw(10)
                   << static_cast<long>(out.retried) << std::setw(10)
                   << static_cast<long>(out.fallbacks) << std::setw(10)
                   << static_cast<long>(out.detours) << std::setw(8)
                   << static_cast<long>(out.sweeps) << "\n";
+        json << (first_row ? "" : ",") << "\n    {\"config\": \""
+             << label << "\", \"ticks\": " << out.ticks
+             << ", \"slowdown\": " << slowdown
+             << ", \"retries\": " << static_cast<long>(out.retried)
+             << ", \"fallbacks\": "
+             << static_cast<long>(out.fallbacks)
+             << ", \"detours\": " << static_cast<long>(out.detours)
+             << ", \"sweeps\": " << static_cast<long>(out.sweeps)
+             << "}";
+        first_row = false;
     };
 
     row("healthy fabric", Outcome{healthy, 0, 0, 0, 0});
@@ -160,11 +182,21 @@ main()
     row("+ reroute+reprofile", adaptive);
 
     const bool pass = adaptive.ticks < retry_only.ticks;
+    json << "\n  ],\n  \"acceptance\": {\n"
+         << "    \"adaptive_beats_retry_only\": "
+         << (pass ? "true" : "false") << ",\n    \"pass\": "
+         << (pass ? "true" : "false") << "\n  }\n}\n";
+
+    const char *env = std::getenv("PROACT_BENCH_JSON");
+    const std::string path =
+        env != nullptr && *env != '\0' ? env : "ablation_reroute.json";
+    std::ofstream(path) << json.str();
+
     std::cout << "\nacceptance: reroute+reprofile "
               << (pass ? "beats" : "DOES NOT BEAT")
               << " retry-only ("
               << static_cast<double>(retry_only.ticks)
                      / static_cast<double>(adaptive.ticks)
-              << "x faster)\n";
+              << "x faster)\nJSON written to " << path << "\n";
     return pass ? 0 : 1;
 }

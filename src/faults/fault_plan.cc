@@ -4,6 +4,7 @@
 #include "sim/random.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 
@@ -223,6 +224,91 @@ FaultPlan::degradePlane(Tick start, Tick end, double fraction,
     proto.end = end;
     proto.severity = fraction;
     return addPlane(proto, gpus);
+}
+
+FaultPlan &
+FaultPlan::flapLink(std::uint64_t seed, int src, int dst,
+                    const LinkLifecycleOptions &options)
+{
+    if (options.mtbf == 0 || options.mttr == 0 ||
+        options.horizon == 0) {
+        fatalError("FaultPlan: flapLink needs non-zero mtbf, mttr "
+                   "and horizon");
+    }
+
+    Rng rng(seed);
+    // Inverse-CDF exponential draw with mean @p mean, floored at one
+    // tick so windows are never empty. 1 - uniform() keeps the
+    // argument of log strictly positive.
+    const auto exponential = [&rng](Tick mean) -> Tick {
+        const double draw = -static_cast<double>(mean)
+            * std::log(1.0 - rng.uniform());
+        return std::max<Tick>(1, static_cast<Tick>(draw));
+    };
+
+    Tick t = 0;
+    for (int i = 0; i < options.maxEpisodes; ++i) {
+        t += exponential(options.mtbf); // Up time before the outage.
+        if (t >= options.horizon)
+            break;
+        Tick repair = exponential(options.mttr);
+        repair = std::min(repair, options.horizon - t);
+        const Tick end = t + repair;
+        if (rng.uniform() < options.downProbability) {
+            downLink(t, end, src, dst);
+        } else {
+            const double f = options.minSeverity
+                + rng.uniform()
+                    * (options.maxSeverity - options.minSeverity);
+            degradeLink(t, end, std::clamp(f, 0.01, 0.99), src, dst);
+        }
+        t = end;
+    }
+    return *this;
+}
+
+FaultPlan
+mtbfFaultPlan(std::uint64_t seed, int num_gpus, int num_links,
+              const LinkLifecycleOptions &options)
+{
+    if (num_gpus < 2)
+        fatalError("mtbfFaultPlan: needs at least 2 GPUs, got ",
+                   num_gpus);
+    const int max_links = num_gpus * (num_gpus - 1);
+    if (num_links < 1 || num_links > max_links) {
+        fatalError("mtbfFaultPlan: num_links must be in [1, ",
+                   max_links, "], got ", num_links);
+    }
+
+    FaultPlan plan;
+    plan.seed = seed;
+
+    // Pick the flapping links by a seeded partial shuffle of all
+    // directed pairs, on a stream of its own so the per-link episode
+    // streams below stay independent of the choice order.
+    std::vector<std::pair<int, int>> links;
+    for (int s = 0; s < num_gpus; ++s) {
+        for (int d = 0; d < num_gpus; ++d) {
+            if (s != d)
+                links.emplace_back(s, d);
+        }
+    }
+    Rng picker(deriveSeed(seed, 0));
+    for (int k = 0; k < num_links; ++k) {
+        const int j = k + static_cast<int>(
+            picker.below(links.size() - static_cast<std::size_t>(k)));
+        std::swap(links[static_cast<std::size_t>(k)],
+                  links[static_cast<std::size_t>(j)]);
+    }
+
+    for (int k = 0; k < num_links; ++k) {
+        const auto [src, dst] = links[static_cast<std::size_t>(k)];
+        plan.flapLink(deriveSeed(seed, static_cast<std::uint64_t>(k)
+                                           + 1),
+                      src, dst, options);
+    }
+    plan.validate(num_gpus);
+    return plan;
 }
 
 FaultPlan

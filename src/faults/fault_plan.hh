@@ -137,6 +137,18 @@ struct FaultPlan
                             const std::vector<int> &gpus);
     /** @} */
 
+    /**
+     * Probabilistic link recovery: generate an MTTR/MTBF-style
+     * outage/repair lifecycle for one directed link (see
+     * LinkLifecycleOptions). Seeded and flapping-capable — the link
+     * alternates exponentially distributed up times (mean @c mtbf)
+     * and outage episodes (mean @c mttr) over the options' horizon,
+     * so the monitor's DOWN -> HEALTHY path gets exercised repeatedly
+     * rather than once.
+     */
+    FaultPlan &flapLink(std::uint64_t seed, int src, int dst,
+                        const struct LinkLifecycleOptions &options);
+
     /** Number of distinct correlation groups in the plan. */
     int numGroups() const { return _nextGroup; }
 
@@ -147,6 +159,47 @@ struct FaultPlan
     FaultPlan &addPlane(FaultEpisode proto,
                         const std::vector<int> &gpus);
 };
+
+/**
+ * Knobs for MTTR/MTBF link-lifecycle generation (FaultPlan::flapLink
+ * and mtbfFaultPlan). Up times and repair times are exponentially
+ * distributed — the classic memoryless failure/repair model — so a
+ * link can flap several times in one horizon or not at all,
+ * deterministically per seed.
+ */
+struct LinkLifecycleOptions
+{
+    /** Mean time between failures (mean up time before an outage). */
+    Tick mtbf = 300 * ticksPerMicrosecond;
+
+    /** Mean time to repair (mean outage duration). */
+    Tick mttr = 80 * ticksPerMicrosecond;
+
+    /** Episodes are generated inside [0, horizon). */
+    Tick horizon = 2000 * ticksPerMicrosecond;
+
+    /**
+     * Probability an outage is a hard LinkDown; otherwise it is a
+     * LinkDegrade at a severity drawn from [minSeverity, maxSeverity].
+     */
+    double downProbability = 1.0;
+    double minSeverity = 0.5;
+    double maxSeverity = 0.9;
+
+    /** Safety bound on episodes per link (pathological mtbf ~ 0). */
+    int maxEpisodes = 64;
+};
+
+/**
+ * Deterministically generate an MTTR/MTBF lifecycle plan flapping
+ * @p num_links distinct directed links of a @p num_gpus system. Each
+ * link's episode stream is derived independently from @p seed (via
+ * deriveSeed), so enlarging num_links never perturbs the episodes of
+ * links already in the plan.
+ */
+FaultPlan mtbfFaultPlan(std::uint64_t seed, int num_gpus,
+                        int num_links,
+                        const LinkLifecycleOptions &options = {});
 
 /** Knobs for the seeded random fault-plan generator. */
 struct RandomFaultOptions

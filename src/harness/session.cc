@@ -24,6 +24,8 @@ ParadigmRun::faultSummary() const
     field("retries", retries);
     field("fallbacks", fallbacks);
     field("transitions", linkTransitions);
+    field("wire_transitions", wireTransitions);
+    field("congested", congestionEvents);
     field("reroutes", reroutes);
     field("sweeps", reprofileSweeps);
     field("swaps", configSwaps);
@@ -62,7 +64,7 @@ Session::run(Workload &workload, Paradigm paradigm,
         system.installFaults(envFaultPlan());
         effective.retry = envRetryPolicy();
         if (envHealthEnabled()) {
-            system.enableHealth();
+            system.enableHealth(envHealthPolicy());
             // Boundary-aware bookings: in-flight transfers follow
             // degradation windows instead of keeping their stale
             // delivery tick.
@@ -106,6 +108,10 @@ Session::run(Workload &workload, Paradigm paradigm,
     if (const LinkHealthMonitor *health = system.health()) {
         result.linkTransitions =
             u64(health->stats().get("health.transitions"));
+        result.wireTransitions =
+            u64(health->stats().get("health.wire_transitions"));
+        result.congestionEvents =
+            u64(health->stats().get("health.to_congested"));
     }
     if (const Rerouter *rerouter = system.rerouter()) {
         result.reroutes = u64(rerouter->stats().get("reroute.detours")

@@ -48,6 +48,8 @@ struct ParadigmRun
     std::uint64_t retries = 0;          ///< Re-pushes after ack loss.
     std::uint64_t fallbacks = 0;        ///< Reliable-path activations.
     std::uint64_t linkTransitions = 0;  ///< Health state changes.
+    std::uint64_t wireTransitions = 0;  ///< ... involving DEGRADED/DOWN.
+    std::uint64_t congestionEvents = 0; ///< Links classified CONGESTED.
     std::uint64_t reroutes = 0;         ///< Detours + splits applied.
     std::uint64_t reprofileSweeps = 0;  ///< Narrowed sweeps run.
     std::uint64_t configSwaps = 0;      ///< Hot-swapped configs.

@@ -35,10 +35,14 @@ LinkHealthMonitor::LinkHealthMonitor(EventQueue &eq,
         fatalError("LinkHealthMonitor: hysteresis gap requires "
                    "degradedBwFraction < healthyBwFraction");
     }
+    if (_policy.clearQueueRatio >= _policy.congestedQueueRatio) {
+        fatalError("LinkHealthMonitor: hysteresis gap requires "
+                   "clearQueueRatio < congestedQueueRatio");
+    }
 
     _fabric.setDeliveryObserver(
-        [this](const Interconnect::Request &req, Tick start,
-               Tick delivered, bool dropped) {
+        [this](const Interconnect::Request &req,
+               const Interconnect::DeliverySample &sample) {
             // The hardware-reliable bulk path is fault-exempt by
             // construction; its deliveries say nothing about the
             // health of the unprotected fine-grained path, and
@@ -46,14 +50,12 @@ LinkHealthMonitor::LinkHealthMonitor(EventQueue &eq,
             // only survives via the fallback.
             if (req.reliable)
                 return;
-            if (dropped) {
+            if (sample.dropped) {
                 recordLoss(req.src, req.dst);
                 return;
             }
-            observe(req.src, req.dst,
-                    _fabric.packetModel().wireBytes(
-                        req.bytes, req.writeGranularity),
-                    req.threads, start, delivered);
+            observe(req.src, req.dst, sample.wireBytes, req.threads,
+                    sample.queueDelay, sample.serviceTime);
         });
 }
 
@@ -125,11 +127,20 @@ LinkHealthMonitor::residualFraction(int src, int dst) const
       case LinkState::Down:
         return 0.0;
       case LinkState::Healthy:
+      case LinkState::Congested:
+        // A congested link's wire is intact: its nominal rate is all
+        // there once the competing flows drain.
         return 1.0;
       case LinkState::Degraded:
         break;
     }
     return std::clamp(l.ewmaFraction, 0.01, 1.0);
+}
+
+double
+LinkHealthMonitor::ewmaQueueRatio(int src, int dst) const
+{
+    return link(src, dst).ewmaQueueRatio;
 }
 
 Tick
@@ -159,13 +170,23 @@ LinkHealthMonitor::recordDelivery(int src, int dst,
     observe(src, dst,
             _fabric.packetModel().wireBytes(
                 bytes, _fabric.packetModel().maxPayloadBytes),
-            0, submitted, delivered);
+            0, 0, delivered > submitted ? delivered - submitted : 1);
+}
+
+void
+LinkHealthMonitor::recordSample(int src, int dst, std::uint64_t bytes,
+                                Tick queue_delay, Tick service_time)
+{
+    observe(src, dst,
+            _fabric.packetModel().wireBytes(
+                bytes, _fabric.packetModel().maxPayloadBytes),
+            0, queue_delay, service_time);
 }
 
 void
 LinkHealthMonitor::observe(int src, int dst, std::uint64_t wire_bytes,
-                           std::uint32_t threads, Tick start,
-                           Tick delivered)
+                           std::uint32_t threads, Tick queue_delay,
+                           Tick service_time)
 {
     Link &l = link(src, dst);
     _stats.inc("health.deliveries");
@@ -175,26 +196,35 @@ LinkHealthMonitor::observe(int src, int dst, std::uint64_t wire_bytes,
 
     // Expected fault-free time of this delivery: wire occupancy at
     // the thread-capped rate plus the fabric latency. The ratio of
-    // expected to observed time is the link's achieved fraction of
-    // nominal for this sample (1.0 = healthy); queue wait is excluded
-    // because @p start is the service start, not the submission.
+    // expected to observed *wire service* time is the link's achieved
+    // fraction of nominal for this sample (1.0 = healthy); the ratio
+    // of queueing delay to expected time is the sample's congestion
+    // signal. Keeping the two apart is the whole point: a backlog of
+    // other flows at a shared port stretches queue_delay but leaves
+    // service_time — and hence the DEGRADED classification — alone.
     const double rate = std::min(_fabric.effectiveEgressRate(threads),
                                  nominalBandwidth(src, dst));
     const Tick expected =
         transferTicks(wire_bytes, rate) + _fabric.spec().latency;
-    const Tick actual = delivered > start ? delivered - start : 1;
+    const Tick actual = service_time > 0 ? service_time : 1;
     const double fraction =
         std::min(1.0, static_cast<double>(expected)
                           / static_cast<double>(actual));
+    const double queue_ratio =
+        static_cast<double>(queue_delay)
+        / static_cast<double>(std::max<Tick>(expected, 1));
 
     const double a = _policy.ewmaAlpha;
     if (l.deliveries == 1) {
         l.ewmaLatency = static_cast<double>(actual);
         l.ewmaFraction = fraction;
+        l.ewmaQueueRatio = queue_ratio;
     } else {
         l.ewmaLatency =
             (1.0 - a) * l.ewmaLatency + a * static_cast<double>(actual);
         l.ewmaFraction = (1.0 - a) * l.ewmaFraction + a * fraction;
+        l.ewmaQueueRatio =
+            (1.0 - a) * l.ewmaQueueRatio + a * queue_ratio;
     }
 
     reclassify(src, dst);
@@ -231,22 +261,38 @@ LinkHealthMonitor::reclassify(int src, int dst)
 
     const bool enough_samples =
         l.deliveries >= static_cast<std::uint64_t>(_policy.minSamples);
+    const bool congested =
+        l.ewmaQueueRatio > _policy.congestedQueueRatio;
 
     switch (l.state) {
       case LinkState::Down:
         // Leave DOWN only after a streak of clean deliveries; land in
-        // DEGRADED or HEALTHY depending on the observed bandwidth.
+        // DEGRADED, CONGESTED or HEALTHY depending on what the two
+        // signals say now.
         if (l.deliverStreak >= _policy.recoverAfterDeliveries) {
             setState(src, dst,
                      l.ewmaFraction < _policy.healthyBwFraction
                          ? LinkState::Degraded
-                         : LinkState::Healthy);
+                         : (congested ? LinkState::Congested
+                                      : LinkState::Healthy));
         }
         break;
       case LinkState::Healthy:
         if (enough_samples &&
             l.ewmaFraction < _policy.degradedBwFraction) {
             setState(src, dst, LinkState::Degraded);
+        } else if (enough_samples && congested) {
+            setState(src, dst, LinkState::Congested);
+        }
+        break;
+      case LinkState::Congested:
+        // The wire signal always wins: a degraded rate underneath a
+        // backlog is still a degraded rate.
+        if (enough_samples &&
+            l.ewmaFraction < _policy.degradedBwFraction) {
+            setState(src, dst, LinkState::Degraded);
+        } else if (l.ewmaQueueRatio < _policy.clearQueueRatio) {
+            setState(src, dst, LinkState::Healthy);
         }
         break;
       case LinkState::Degraded:
@@ -254,7 +300,9 @@ LinkHealthMonitor::reclassify(int src, int dst)
         // bandwidth estimate back above the (higher) exit threshold.
         if (l.deliverStreak >= _policy.recoverAfterDeliveries &&
             l.ewmaFraction > _policy.healthyBwFraction) {
-            setState(src, dst, LinkState::Healthy);
+            setState(src, dst,
+                     congested ? LinkState::Congested
+                               : LinkState::Healthy);
         }
         break;
     }
@@ -276,12 +324,17 @@ LinkHealthMonitor::setState(int src, int dst, LinkState next)
     ++l.epoch;
 
     _stats.inc("health.transitions");
+    if (isWireTransition(prev, next))
+        _stats.inc("health.wire_transitions");
     switch (next) {
       case LinkState::Down:
         _stats.inc("health.to_down");
         break;
       case LinkState::Degraded:
         _stats.inc("health.to_degraded");
+        break;
+      case LinkState::Congested:
+        _stats.inc("health.to_congested");
         break;
       case LinkState::Healthy:
         _stats.inc("health.to_healthy");
@@ -369,6 +422,9 @@ LinkHealthMonitor::toFaultPlan() const
                 break;
               }
               case LinkState::Healthy:
+              case LinkState::Congested:
+                // Congestion is other flows' traffic, not a property
+                // of the wire: the profiler should see a clean link.
                 break;
             }
         }

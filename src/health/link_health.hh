@@ -3,12 +3,18 @@
  * Online per-link health tracking for the fault-adaptive runtime.
  *
  * The LinkHealthMonitor observes every delivery the fabric makes (or
- * drops) and keeps, per directed GPU pair: an EWMA of delivery
- * latency, an EWMA of achieved bandwidth, and loss/delivery streak
- * counters. From those it classifies each link HEALTHY / DEGRADED /
- * DOWN with hysteresis — a single dropped delivery or one slow
- * transfer never flips the state, and recovery requires a streak of
- * clean deliveries — so transient spikes don't make routing flap.
+ * drops) and keeps, per directed GPU pair, two separately attributed
+ * EWMAs from the fabric's DeliverySample split: the achieved fraction
+ * of nominal bandwidth computed from *wire service time only*, and
+ * the ratio of time spent queued behind other flows to the expected
+ * service time. From those it classifies each link HEALTHY /
+ * CONGESTED / DEGRADED / DOWN with hysteresis — a single dropped
+ * delivery or one slow transfer never flips the state, and recovery
+ * requires a streak of clean deliveries — so transient spikes don't
+ * make routing flap. DEGRADED and DOWN come from the wire signal
+ * alone; a port backlog caused by *other* flows surfaces as
+ * CONGESTED, which routing treats as spread-don't-detour and which
+ * never invalidates route plans or triggers re-profiling.
  *
  * A link that has been declared DOWN stops carrying payload once the
  * Rerouter detours around it, so the monitor optionally sends small
@@ -59,6 +65,17 @@ struct HealthPolicy
     int minSamples = 3;
 
     /**
+     * Enter CONGESTED when the EWMA of per-delivery queueing delay
+     * exceeds this multiple of the expected service time (i.e. the
+     * average delivery waits longer behind other flows than its own
+     * wire time, several times over); leave CONGESTED only once the
+     * EWMA falls below clearQueueRatio (hysteresis gap). Queueing
+     * never feeds the DEGRADED/DOWN classification.
+     */
+    double congestedQueueRatio = 2.0;
+    double clearQueueRatio = 0.75;
+
+    /**
      * Minimum time between consecutive state changes of one link.
      * Transitions to DOWN are exempt (a loss streak means payload is
      * dying now). Congestion can masquerade as degradation when
@@ -91,7 +108,9 @@ struct HealthPolicy
  *
  * Stats (read via stats()):
  *  - health.transitions:  every state change
- *  - health.to_down / to_degraded / to_healthy: per target state
+ *  - health.wire_transitions: state changes involving DEGRADED/DOWN
+ *  - health.to_down / to_degraded / to_congested / to_healthy:
+ *    per target state
  *  - health.probes:       probe transfers sent
  *  - health.losses / deliveries: raw observation counts
  */
@@ -149,18 +168,35 @@ class LinkHealthMonitor : public LinkStateProvider
     std::uint64_t routeEpoch(int src, int dst) const override;
     /** @} */
 
-    /** Feed one observed delivery (also called by the fabric hook). */
+    /**
+     * Feed one observed delivery. The whole submitted -> delivered
+     * span is attributed to wire service (zero queueing) — the entry
+     * point for harnesses that don't track the split; the fabric hook
+     * feeds the attributed DeliverySample instead.
+     */
     void recordDelivery(int src, int dst, std::uint64_t bytes,
                         Tick submitted, Tick delivered);
+
+    /**
+     * Feed one observed delivery with an explicit queueing/service
+     * attribution (what the fabric hook reports): @p queue_delay
+     * ticks spent behind other flows, @p service_time ticks of wire
+     * time for @p bytes of payload.
+     */
+    void recordSample(int src, int dst, std::uint64_t bytes,
+                      Tick queue_delay, Tick service_time);
 
     /** Feed one observed loss. */
     void recordLoss(int src, int dst);
 
-    /** EWMA delivery latency of a link (0 before any delivery). */
+    /** EWMA wire service latency of a link (0 before any delivery). */
     Tick ewmaLatency(int src, int dst) const;
 
-    /** EWMA achieved bandwidth estimate (bytes/s). */
+    /** EWMA achieved bandwidth estimate (bytes/s), wire time only. */
     double ewmaBandwidth(int src, int dst) const;
+
+    /** EWMA of queueing delay over expected service time (0 = quiet). */
+    double ewmaQueueRatio(int src, int dst) const;
 
     /** Register a state-change listener (called after the change). */
     void addListener(Listener listener);
@@ -193,9 +229,18 @@ class LinkHealthMonitor : public LinkStateProvider
 
         /**
          * EWMA of the achieved fraction of nominal bandwidth, from
-         * per-delivery expected-vs-actual time ratios (1.0 = nominal).
+         * per-delivery expected-vs-wire-service time ratios (1.0 =
+         * nominal). Queueing behind other flows is excluded: only the
+         * wire signal classifies DEGRADED.
          */
         double ewmaFraction = 1.0;
+
+        /**
+         * EWMA of per-delivery queueing delay over expected service
+         * time. High values mean the port is backed up with *other*
+         * flows' traffic: a congestion signal, not a wire fault.
+         */
+        double ewmaQueueRatio = 0.0;
 
         int lossStreak = 0;
         int deliverStreak = 0;
@@ -233,11 +278,13 @@ class LinkHealthMonitor : public LinkStateProvider
     /**
      * Fold one delivery into the link's EWMAs: the achieved fraction
      * is the ratio of the expected fault-free time (wire bytes at the
-     * thread-capped rate, plus fabric latency) to the observed
-     * service-start-to-delivery time.
+     * thread-capped rate, plus fabric latency) to the observed wire
+     * service time; the queue ratio is the observed queueing delay
+     * over that same expected time.
      */
     void observe(int src, int dst, std::uint64_t wire_bytes,
-                 std::uint32_t threads, Tick start, Tick delivered);
+                 std::uint32_t threads, Tick queue_delay,
+                 Tick service_time);
 
     void setState(int src, int dst, LinkState next);
     void reclassify(int src, int dst);

@@ -120,6 +120,10 @@ Interconnect::transfer(const Request &req)
 
     const Tick nb = std::max(_eq.curTick(), req.notBefore);
 
+    DeliverySample sample;
+    sample.enqueued = nb;
+    sample.wireBytes = wire;
+
     if (pairwise()) {
         // Direct-attached link: single hop at the pair's rate; the
         // thread cap still applies against what the threads could
@@ -129,61 +133,82 @@ Interconnect::transfer(const Request &req)
             std::min(link.rate(), effectiveEgressRate(req.threads));
         const auto pair_wire_eq = static_cast<std::uint64_t>(
             static_cast<double>(wire) * link.rate() / pair_eff);
-        const Tick start = link.nextStart(nb);
-        const Tick delivered =
-            link.submitAfter(nb, pair_wire_eq, req.bytes);
+        const Channel::Timing t =
+            link.submitTimed(nb, pair_wire_eq, req.bytes);
+
+        sample.start = t.start;
+        sample.delivered = t.delivered;
+        sample.queueDelay = t.queueDelay();
+        sample.serviceTime = t.serviceTicks() + link.latency();
 
         std::vector<Hop> hops;
         if (_rebooking) {
             hops.push_back(Hop{&link, link.lastBookingId(),
-                               link.latency(),
-                               delivered - link.latency()});
+                               link.latency(), t.serviceEnd});
         }
-        return finishDelivery(req, start, delivered, std::move(hops));
+        return finishDelivery(req, sample, std::move(hops));
     }
 
     // Cut-through booking: each hop starts once the previous hop
     // begins streaming; delivery waits for the slowest hop to drain
     // plus the fabric latency (carried by the ingress channel).
-    const Tick e_start = _egress[req.src]->nextStart(nb);
-    const Tick e_end =
-        _egress[req.src]->submitAfter(nb, wire_eq, req.bytes);
+    const Channel::Timing e =
+        _egress[req.src]->submitTimed(nb, wire_eq, req.bytes);
 
     std::vector<Hop> hops;
     if (_rebooking) {
         hops.push_back(Hop{_egress[req.src].get(),
                            _egress[req.src]->lastBookingId(),
-                           _spec.latency, e_end});
+                           _spec.latency, e.serviceEnd});
     }
 
-    Tick c_end = e_start;
-    Tick i_nb = e_start;
+    Tick c_end = e.start;
+    Tick c_dur = 0;
+    Tick i_nb = e.start;
     if (_core) {
-        i_nb = _core->nextStart(e_start);
-        c_end = _core->submitAfter(e_start, wire, req.bytes);
+        const Channel::Timing c =
+            _core->submitTimed(e.start, wire, req.bytes);
+        i_nb = c.start;
+        c_end = c.serviceEnd;
+        c_dur = c.serviceTicks();
         if (_rebooking) {
             hops.push_back(Hop{_core.get(), _core->lastBookingId(),
-                               _spec.latency, c_end});
+                               _spec.latency, c.serviceEnd});
         }
     }
-    const Tick i_delivered =
-        _ingress[req.dst]->submitAfter(i_nb, wire, req.bytes);
+    const Channel::Timing i =
+        _ingress[req.dst]->submitTimed(i_nb, wire, req.bytes);
     if (_rebooking) {
-        const Tick i_lat = _ingress[req.dst]->latency();
         hops.push_back(Hop{_ingress[req.dst].get(),
-                           _ingress[req.dst]->lastBookingId(), i_lat,
-                           i_delivered - i_lat});
+                           _ingress[req.dst]->lastBookingId(),
+                           _ingress[req.dst]->latency(),
+                           i.serviceEnd});
     }
 
-    const Tick delivered = std::max(
-        {e_end + _spec.latency, c_end + _spec.latency, i_delivered});
-    return finishDelivery(req, e_start, delivered, std::move(hops));
+    const Tick delivered =
+        std::max({e.serviceEnd + _spec.latency,
+                  c_end + _spec.latency, i.delivered});
+
+    // Attribution: what this delivery would have taken on an
+    // otherwise-idle fabric at the hops' *current* (fault-scaled)
+    // rates is wire service time; everything beyond that is queueing
+    // behind other flows at the shared ports. Wire slowdowns lengthen
+    // the hop service times and land in the first component;
+    // contention only moves hop start ticks and lands in the second.
+    sample.start = e.start;
+    sample.delivered = delivered;
+    sample.serviceTime =
+        std::max({e.serviceTicks(), c_dur, i.serviceTicks()})
+        + _spec.latency;
+    sample.queueDelay = delivered - nb - sample.serviceTime;
+    return finishDelivery(req, sample, std::move(hops));
 }
 
 Tick
-Interconnect::finishDelivery(const Request &req, Tick start,
-                             Tick delivered, std::vector<Hop> hops)
+Interconnect::finishDelivery(const Request &req, DeliverySample sample,
+                             std::vector<Hop> hops)
 {
+    Tick delivered = sample.delivered;
     bool dropped = false;
     Tick extra_delay = 0;
     if (_faultFilter && !req.reliable) {
@@ -191,7 +216,14 @@ Interconnect::finishDelivery(const Request &req, Tick start,
         dropped = verdict.drop;
         extra_delay = verdict.extraDelay;
         delivered += extra_delay;
+        // A delay spike is a wire symptom (retransmit, replay, lane
+        // retrain), not queueing behind a neighbor — charge it to the
+        // service component the monitor classifies DEGRADED from.
+        sample.delivered = delivered;
+        sample.serviceTime += extra_delay;
     }
+    sample.dropped = dropped;
+    const Tick start = sample.start;
 
     if (dropped) {
         ++_droppedDeliveries;
@@ -219,7 +251,7 @@ Interconnect::finishDelivery(const Request &req, Tick start,
     }
 
     if (_deliveryObserver)
-        _deliveryObserver(req, start, delivered, dropped);
+        _deliveryObserver(req, sample);
 
     if (_trace) {
         _trace->record(start, delivered,

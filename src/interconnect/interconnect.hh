@@ -106,14 +106,35 @@ class Interconnect
         std::function<FaultVerdict(const Request &, Tick delivered)>;
 
     /**
+     * Timing breakdown of one delivery, split into two attributable
+     * components. @c queueDelay is time the request spent waiting
+     * behind *other* flows at shared ports (egress/core/ingress FIFO
+     * backlogs); @c serviceTime is what the delivery would have taken
+     * on an otherwise-idle fabric at the links' current (possibly
+     * fault-scaled) rates, plus any fault-injected delay spike. The
+     * two always satisfy enqueued + queueDelay + serviceTime ==
+     * delivered. The health layer classifies CONGESTED from the first
+     * component and DEGRADED/DOWN from the second only.
+     */
+    struct DeliverySample
+    {
+        Tick enqueued = 0;     ///< When the request entered the fabric.
+        Tick start = 0;        ///< First hop's service-start tick.
+        Tick delivered = 0;    ///< Final (fault-delayed) delivery tick.
+        Tick queueDelay = 0;   ///< Waiting behind other flows.
+        Tick serviceTime = 0;  ///< Idle-fabric wire time + fault delay.
+        std::uint64_t wireBytes = 0; ///< Protocol bytes on the wire.
+        bool dropped = false;  ///< Fault filter dropped the delivery.
+    };
+
+    /**
      * Observer of every submission's outcome, called once per
-     * transfer at submission time with the service-start tick, the
-     * (possibly fault-delayed) delivery tick, and whether the fault
-     * filter dropped the delivery. This is the LinkHealthMonitor's
-     * feed; nullptr disables.
+     * transfer at submission time with the full timing breakdown,
+     * including whether the fault filter dropped the delivery. This
+     * is the LinkHealthMonitor's feed; nullptr disables.
      */
     using DeliveryObserver = std::function<void(
-        const Request &, Tick start, Tick delivered, bool dropped)>;
+        const Request &, const DeliverySample &)>;
 
     Interconnect(EventQueue &eq, const FabricSpec &spec, int num_gpus);
 
@@ -271,12 +292,15 @@ class Interconnect
     /**
      * Consult the fault filter, schedule the completion callback
      * (unless the delivery was dropped), notify the delivery
-     * observer, and trace the span. Under rebooking @p hops carries
-     * the channel bookings so the completion can later move.
+     * observer, and trace the span. @p sample carries the pre-fault
+     * timing split; fault delay spikes are charged to its service
+     * component (they are a wire symptom, not queueing). Under
+     * rebooking @p hops carries the channel bookings so the
+     * completion can later move.
      * @return The (possibly delayed) delivery tick.
      */
-    Tick finishDelivery(const Request &req, Tick start,
-                        Tick delivered, std::vector<Hop> hops = {});
+    Tick finishDelivery(const Request &req, DeliverySample sample,
+                        std::vector<Hop> hops = {});
 };
 
 } // namespace proact

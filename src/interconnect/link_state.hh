@@ -24,6 +24,15 @@ enum class LinkState
     /** Delivering at (close to) nominal bandwidth. */
     Healthy,
 
+    /**
+     * The wire is fine, but deliveries queue behind other flows at a
+     * shared port. Transient by nature: the backlog drains when the
+     * competing flows do. Routing spreads load where it has a choice
+     * but never detours — a detour would add wire time on two more
+     * ports to dodge a queue that is already moving.
+     */
+    Congested,
+
     /** Delivering, but at a fraction of nominal bandwidth. */
     Degraded,
 
@@ -37,12 +46,36 @@ linkStateName(LinkState state)
     switch (state) {
       case LinkState::Healthy:
         return "healthy";
+      case LinkState::Congested:
+        return "congested";
       case LinkState::Degraded:
         return "degraded";
       case LinkState::Down:
         return "down";
     }
     return "unknown";
+}
+
+/**
+ * Whether @p state indicates a genuine wire problem (degraded rate or
+ * loss) as opposed to queueing behind other flows.
+ */
+inline bool
+isWireFaultState(LinkState state)
+{
+    return state == LinkState::Degraded || state == LinkState::Down;
+}
+
+/**
+ * Whether a state transition involves the wire-slowdown signal on
+ * either side. Healthy <-> Congested flips are congestion-only: plan
+ * caches stay valid and the reprofiler stays quiet across them.
+ */
+inline bool
+isWireTransition(LinkState from, LinkState to)
+{
+    return from != to &&
+           (isWireFaultState(from) || isWireFaultState(to));
 }
 
 /** Read-only view of per-link health used for routing decisions. */

@@ -19,6 +19,10 @@ Rerouter::Rerouter(EventQueue &eq, Interconnect &fabric,
         fatalError("Rerouter: maxRelayHops must be positive");
     if (_policy.maxRelayFanout < 1)
         fatalError("Rerouter: maxRelayFanout must be positive");
+    if (_policy.congestedPenalty <= 0.0 ||
+        _policy.congestedPenalty > 1.0) {
+        fatalError("Rerouter: congestedPenalty must be in (0, 1]");
+    }
 
     const std::size_t pairs =
         static_cast<std::size_t>(fabric.numGpus()) * fabric.numGpus();
@@ -37,10 +41,18 @@ Rerouter::scoredRelays(int src, int dst) const
     for (int k = 0; k < _fabric.numGpus(); ++k) {
         if (k == src || k == dst)
             continue;
-        const double s =
+        double s =
             std::min(_health.residualFraction(src, k),
                      _health.residualFraction(k, dst))
             * _policy.relayDiscount;
+        // Spread-don't-detour: congested relay legs keep their full
+        // residual (the wire is fine) but score lower, so the fan-out
+        // leans toward quiet relays instead of piling onto a port
+        // that is already backed up.
+        if (_health.linkState(src, k) == LinkState::Congested)
+            s *= _policy.congestedPenalty;
+        if (_health.linkState(k, dst) == LinkState::Congested)
+            s *= _policy.congestedPenalty;
         if (s > 0.0)
             relays.emplace_back(k, s);
     }
@@ -148,8 +160,13 @@ std::vector<Rerouter::Leg>
 Rerouter::computePlan(int src, int dst) const
 {
     const LinkState direct = _health.linkState(src, dst);
-    if (direct == LinkState::Healthy)
+    if (direct == LinkState::Healthy ||
+        direct == LinkState::Congested) {
+        // Congestion is never a reason to detour: the backlog is
+        // other flows' traffic and drains with them, while a relay
+        // would spend wire on two more ports to dodge it.
         return {Leg{{}, 1.0}};
+    }
 
     auto relays = scoredRelays(src, dst);
     if (static_cast<int>(relays.size()) > _policy.maxRelayFanout)
@@ -220,21 +237,36 @@ Rerouter::plan(int src, int dst) const
         static_cast<std::size_t>(src) * _fabric.numGpus() + dst;
 
     bool valid = _cacheValid.at(idx);
-    if (valid &&
-        _health.linkEpoch(src, dst) != _cachedLinkEpochs[idx]) {
-        // The direct link changed state: the plan's shape (direct vs
-        // detour vs split) is wrong, not just its weights. Always
-        // recompute.
-        valid = false;
-    } else if (valid && !_cacheDirectOnly[idx] &&
-               _health.routeEpoch(src, dst)
-                   != _cachedRouteEpochs[idx]) {
-        // Only relay conditions drifted: tolerate the stale split
-        // weights for up to planTtl before recomputing, so endpoint
-        // congestion flapping relay links can't force a recompute
-        // per transfer.
-        valid = _policy.planTtl > 0
-            && _eq.curTick() - _cachedTicks[idx] < _policy.planTtl;
+    if (_pushInvalidation) {
+        // Push mode: wire transitions already evicted everything they
+        // touched, so a set valid flag is authoritative — no provider
+        // epoch reads at all on the send path. Relay plans still
+        // refresh on the TTL so split weights track slow drift
+        // (congestion flips don't evict by design).
+        if (valid && !_cacheDirectOnly[idx] && _policy.planTtl > 0) {
+            valid =
+                _eq.curTick() - _cachedTicks[idx] < _policy.planTtl;
+        }
+    } else if (valid) {
+        _stats.inc("reroute.epoch_reads");
+        if (_health.linkEpoch(src, dst) != _cachedLinkEpochs[idx]) {
+            // The direct link changed state: the plan's shape (direct
+            // vs detour vs split) is wrong, not just its weights.
+            // Always recompute.
+            valid = false;
+        } else if (!_cacheDirectOnly[idx]) {
+            _stats.inc("reroute.epoch_reads");
+            if (_health.routeEpoch(src, dst)
+                    != _cachedRouteEpochs[idx]) {
+                // Only relay conditions drifted: tolerate the stale
+                // split weights for up to planTtl before recomputing,
+                // so endpoint congestion flapping relay links can't
+                // force a recompute per transfer.
+                valid = _policy.planTtl > 0
+                    && _eq.curTick() - _cachedTicks[idx]
+                           < _policy.planTtl;
+            }
+        }
     }
 
     if (valid) {
@@ -242,18 +274,69 @@ Rerouter::plan(int src, int dst) const
     } else {
         _stats.inc("reroute.plan_computes");
         _cachedPlans[idx] = computePlan(src, dst);
-        // A plan computed on a HEALTHY direct link read nothing but
-        // that link; marking it direct-only exempts it from the
-        // routeEpoch check so relay flapping elsewhere in its
-        // row/column can't evict it.
-        _cacheDirectOnly[idx] =
-            _health.linkState(src, dst) == LinkState::Healthy ? 1 : 0;
-        _cachedLinkEpochs[idx] = _health.linkEpoch(src, dst);
-        _cachedRouteEpochs[idx] = _health.routeEpoch(src, dst);
+        // A plan computed on a HEALTHY or CONGESTED direct link read
+        // nothing but that link; marking it direct-only exempts it
+        // from the routeEpoch check (and from push row/column
+        // eviction) so relay flapping elsewhere in its row/column
+        // can't evict it.
+        const LinkState direct = _health.linkState(src, dst);
+        _cacheDirectOnly[idx] = (direct == LinkState::Healthy ||
+                                 direct == LinkState::Congested)
+                                    ? 1
+                                    : 0;
+        if (!_pushInvalidation) {
+            _cachedLinkEpochs[idx] = _health.linkEpoch(src, dst);
+            _cachedRouteEpochs[idx] = _health.routeEpoch(src, dst);
+        }
         _cachedTicks[idx] = _eq.curTick();
         _cacheValid[idx] = 1;
     }
     return _cachedPlans[idx];
+}
+
+void
+Rerouter::enablePushInvalidation()
+{
+    if (_pushInvalidation)
+        return;
+    _pushInvalidation = true;
+    // Epoch-keyed entries were validated against a provider we will
+    // no longer consult; start push mode from an empty cache.
+    std::fill(_cacheValid.begin(), _cacheValid.end(), 0);
+}
+
+void
+Rerouter::onLinkTransition(int src, int dst, LinkState from,
+                           LinkState to)
+{
+    if (!_pushInvalidation)
+        return;
+    if (!isWireTransition(from, to)) {
+        // HEALTHY <-> CONGESTED: every cached plan is still the plan
+        // we would compute (congestion never changes a plan's shape,
+        // only relay tie-breaking weights, which the TTL refreshes).
+        _stats.inc("reroute.push_ignored");
+        return;
+    }
+    _stats.inc("reroute.push_invalidations");
+
+    const int n = _fabric.numGpus();
+    const std::size_t direct =
+        static_cast<std::size_t>(src) * n + dst;
+    _cacheValid.at(direct) = 0;
+    // Any plan that read this link beyond its own direct entry is a
+    // relay plan in row src (a leg leaving src) or column dst (a leg
+    // entering dst); direct-only plans elsewhere never read it.
+    for (int d = 0; d < n; ++d) {
+        const std::size_t i = static_cast<std::size_t>(src) * n + d;
+        if (!_cacheDirectOnly[i])
+            _cacheValid[i] = 0;
+    }
+    for (int s = 0; s < n; ++s) {
+        const std::size_t i = static_cast<std::size_t>(s) * n + dst;
+        if (!_cacheDirectOnly[i])
+            _cacheValid[i] = 0;
+    }
 }
 
 Tick

@@ -102,12 +102,24 @@ struct ReroutePolicy
      * Staleness tolerance for cached relay plans. A direct-link state
      * change always invalidates immediately (the plan's shape is
      * wrong); drift in *relay* conditions — endpoint congestion
-     * flapping links between HEALTHY and DEGRADED — only re-weights
+     * flapping links between HEALTHY and CONGESTED — only re-weights
      * split fractions, so a relay plan tolerates it for up to this
      * long before recomputing. 0 recomputes on every relay-side
-     * transition.
+     * transition (epoch-validated mode) or never expires by time
+     * (push-invalidated mode, where wire transitions already evict).
      */
     Tick planTtl = 200 * ticksPerMicrosecond;
+
+    /**
+     * Spread-don't-detour: a CONGESTED link is never by itself a
+     * reason to leave the direct route (the backlog drains when the
+     * competing flows do), but when a DOWN or DEGRADED link forces a
+     * relay fan-out, each congested relay leg multiplies the relay's
+     * score by this factor so payload spreads toward quiet relays
+     * first without abandoning congested ones. 1.0 makes scoring
+     * congestion-blind.
+     */
+    double congestedPenalty = 0.5;
 };
 
 /**
@@ -123,7 +135,13 @@ struct ReroutePolicy
  *                              guarantees it)
  *  - reroute.plan_requests:    route lookups (one per send)
  *  - reroute.plan_computes:    lookups that had to compute the plan
- *  - reroute.plan_cache_hits:  lookups served from the epoch cache
+ *  - reroute.plan_cache_hits:  lookups served from the cache
+ *  - reroute.epoch_reads:      provider epoch reads made to validate
+ *                              cached plans (zero in push mode)
+ *  - reroute.push_invalidations: wire transitions that evicted cache
+ *                              entries via the monitor listener
+ *  - reroute.push_ignored:     congestion-only transitions the push
+ *                              listener left the cache alone for
  */
 class Rerouter
 {
@@ -185,6 +203,30 @@ class Rerouter
      */
     Tick send(const Submit &submit, Interconnect::Request req);
 
+    /**
+     * Switch the plan cache from per-lookup epoch validation to
+     * listener-driven push invalidation: the owner routes the health
+     * monitor's transition fan-out into onLinkTransition(), and
+     * plan() stops reading provider epochs entirely — a quiet fabric
+     * serves every lookup with a flag check. One-way; the whole
+     * cache is dropped at the switch so no stale epoch-keyed entry
+     * survives into push mode.
+     */
+    void enablePushInvalidation();
+
+    bool pushInvalidation() const { return _pushInvalidation; }
+
+    /**
+     * Health-transition listener entry (push mode). Wire transitions
+     * (DEGRADED/DOWN on either side) evict exactly the entries that
+     * could have read the link: the pair itself, plus every non-
+     * direct-only plan in row @p src or column @p dst. Congestion-
+     * only flips (HEALTHY <-> CONGESTED) leave the cache alone —
+     * that is what makes pure congestion produce zero recomputes.
+     */
+    void onLinkTransition(int src, int dst, LinkState from,
+                          LinkState to);
+
     const ReroutePolicy &policy() const { return _policy; }
 
     StatSet &stats() { return _stats; }
@@ -209,6 +251,7 @@ class Rerouter
     mutable std::vector<Tick> _cachedTicks;
     mutable std::vector<char> _cacheDirectOnly;
     mutable std::vector<char> _cacheValid;
+    bool _pushInvalidation = false;
 
     std::vector<Leg> computePlan(int src, int dst) const;
 

@@ -161,6 +161,25 @@ envReprofileEnabled()
     return envLayerEnabled("PROACT_REPROFILE");
 }
 
+HealthPolicy
+envHealthPolicy()
+{
+    HealthPolicy policy;
+    policy.congestedQueueRatio = envDouble(
+        "PROACT_HEALTH_CONGEST_RATIO", policy.congestedQueueRatio,
+        0.1, 1000.0);
+    policy.clearQueueRatio =
+        envDouble("PROACT_HEALTH_CLEAR_RATIO", policy.clearQueueRatio,
+                  0.0, 1000.0);
+    if (policy.clearQueueRatio >= policy.congestedQueueRatio)
+        policy.clearQueueRatio = policy.congestedQueueRatio * 0.5;
+    const double holdoff_us =
+        envDouble("PROACT_HEALTH_HOLDOFF_US", 0.0, 0.0, 1e6);
+    policy.transitionHoldoff = static_cast<Tick>(
+        holdoff_us * static_cast<double>(ticksPerMicrosecond));
+    return policy;
+}
+
 RetryPolicy
 envRetryPolicy()
 {

@@ -13,6 +13,7 @@
 
 #include "faults/fault_plan.hh"
 #include "faults/retry.hh"
+#include "health/link_health.hh"
 #include "sim/types.hh"
 
 #include <cstdint>
@@ -105,6 +106,19 @@ std::vector<std::uint32_t> threadCountSweep();
  *  - PROACT_REPROFILE=0/1       re-profile + config hot-swap at
  *                               iteration boundaries on link-state
  *                               changes (implies health monitoring)
+ *
+ * Health-classification thresholds (read by envHealthPolicy when the
+ * monitor is enabled from the environment):
+ *  - PROACT_HEALTH_CONGEST_RATIO enter CONGESTED when the EWMA of
+ *                               queueing delay over expected service
+ *                               time exceeds this (default 2.0,
+ *                               clamp [0.1, 1000])
+ *  - PROACT_HEALTH_CLEAR_RATIO  leave CONGESTED below this (default
+ *                               0.75, clamped under the enter
+ *                               threshold to preserve hysteresis)
+ *  - PROACT_HEALTH_HOLDOFF_US   minimum microseconds between state
+ *                               changes of one link, DOWN exempt
+ *                               (default 0 = off, clamp [0, 1e6])
  */
 
 /** Whether PROACT_FAULTS enables fault injection. */
@@ -132,6 +146,14 @@ bool envRerouteEnabled();
 
 /** Whether adaptive re-profiling is enabled (PROACT_REPROFILE). */
 bool envReprofileEnabled();
+
+/**
+ * Monitor thresholds from the environment: library defaults with the
+ * PROACT_HEALTH_CONGEST_RATIO / PROACT_HEALTH_CLEAR_RATIO /
+ * PROACT_HEALTH_HOLDOFF_US overrides applied (and the congestion
+ * hysteresis gap re-established if the overrides inverted it).
+ */
+HealthPolicy envHealthPolicy();
 /** @} */
 
 } // namespace proact

@@ -46,8 +46,16 @@ AdaptiveReprofiler::AdaptiveReprofiler(MultiGpuSystem &system,
     if (health == nullptr)
         fatalError("AdaptiveReprofiler: system has no health monitor "
                    "(call enableHealth first)");
-    health->addListener(
-        [this](int, int, LinkState, LinkState) { _dirty = true; });
+    health->addListener([this](int, int, LinkState from,
+                               LinkState to) {
+        // Only wire transitions change what a sweep would measure:
+        // toFaultPlan() maps CONGESTED links to a clean fabric, so a
+        // HEALTHY <-> CONGESTED flip would re-profile on an identical
+        // plan — pure waste, and worse, congestion caused by our own
+        // detour traffic would keep the profiler thrashing.
+        if (isWireTransition(from, to))
+            _dirty = true;
+    });
 }
 
 AdaptiveReprofiler::AdaptiveReprofiler(MultiGpuSystem &system,

@@ -129,10 +129,21 @@ Channel::submitAfter(Tick not_before, std::uint64_t wire_bytes,
                      std::uint64_t payload_bytes,
                      EventQueue::Callback on_delivered)
 {
+    return submitTimed(not_before, wire_bytes, payload_bytes,
+                       std::move(on_delivered)).delivered;
+}
+
+Channel::Timing
+Channel::submitTimed(Tick not_before, std::uint64_t wire_bytes,
+                     std::uint64_t payload_bytes,
+                     EventQueue::Callback on_delivered)
+{
+    const Tick enqueued = std::max(_eq.curTick(), not_before);
     const Tick start = nextStart(not_before);
     const Tick service = transferTicks(wire_bytes, rate());
     const Tick service_end = start + service;
     const Tick delivered = service_end + _latency;
+    const Timing timing{enqueued, start, service_end, delivered};
 
     _busyUntil = service_end;
     _busyTicks += service;
@@ -154,12 +165,12 @@ Channel::submitAfter(Tick not_before, std::uint64_t wire_bytes,
         }
         _lastBookingId = b.id;
         _bookings.push_back(std::move(b));
-        return delivered;
+        return timing;
     }
 
     if (on_delivered)
         _eq.schedule(delivered, std::move(on_delivered));
-    return delivered;
+    return timing;
 }
 
 double

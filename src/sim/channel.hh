@@ -41,6 +41,27 @@ class Channel
         std::function<void(BookingId, Tick new_service_end)>;
 
     /**
+     * Per-submission timing breakdown. The gap between @c enqueued and
+     * @c start is time the request spent queued behind other flows at
+     * this resource; @c serviceEnd - @c start is the wire service time
+     * at the channel's effective (possibly fault-scaled) rate. The
+     * health layer uses the two to attribute slow deliveries to
+     * congestion vs. genuine link degradation.
+     */
+    struct Timing
+    {
+        Tick enqueued;   ///< max(now, not_before): earliest legal start.
+        Tick start;      ///< Actual service start (dequeue).
+        Tick serviceEnd; ///< Service end (excl. delivery latency).
+        Tick delivered;  ///< serviceEnd + latency.
+
+        /** Ticks spent waiting behind other flows in the FIFO. */
+        Tick queueDelay() const { return start - enqueued; }
+        /** Ticks of wire occupancy for this request. */
+        Tick serviceTicks() const { return serviceEnd - start; }
+    };
+
+    /**
      * @param eq Event queue driving the simulation.
      * @param name Diagnostic name (appears in stats dumps).
      * @param bytes_per_sec Service rate.
@@ -75,6 +96,16 @@ class Channel
     Tick submitAfter(Tick not_before, std::uint64_t wire_bytes,
                      std::uint64_t payload_bytes,
                      EventQueue::Callback on_delivered = nullptr);
+
+    /**
+     * Like submitAfter, but returns the full timing breakdown
+     * (enqueue/dequeue/service-end/delivery stamps) instead of just
+     * the delivery tick. This is the fabric's entry point: it needs
+     * the queueing/service split to build a DeliverySample.
+     */
+    Timing submitTimed(Tick not_before, std::uint64_t wire_bytes,
+                       std::uint64_t payload_bytes,
+                       EventQueue::Callback on_delivered = nullptr);
 
     /** First tick at which a new request could begin service. */
     Tick busyUntil() const { return _busyUntil; }

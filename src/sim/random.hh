@@ -98,6 +98,25 @@ class Rng
     std::uint64_t _state[4];
 };
 
+/**
+ * Derive an independent per-stream seed from a campaign seed and a
+ * stable stream index (SplitMix64 finalizer over the mixed pair).
+ *
+ * Seeded campaigns should give every case/link/worker its own stream
+ * via deriveSeed(campaign, index) instead of consuming draws from one
+ * shared generator in iteration order: appending a new case then
+ * leaves every existing stream — and its golden replay — untouched.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z =
+        seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace proact
 
 #endif // PROACT_SIM_RANDOM_HH

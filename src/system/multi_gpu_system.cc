@@ -59,6 +59,17 @@ MultiGpuSystem::enableReroute(ReroutePolicy policy)
         enableHealth();
         _rerouter = std::make_unique<Rerouter>(_eq, *_fabric, *_health,
                                                policy);
+        // The monitor's transition fan-out drives the plan cache:
+        // wire transitions push-evict exactly the plans that read the
+        // link, and quiet-fabric sends stop reading health epochs
+        // altogether. Congestion flips pass through without evicting.
+        _rerouter->enablePushInvalidation();
+        Rerouter *rerouter = _rerouter.get();
+        _health->addListener(
+            [rerouter](int src, int dst, LinkState from,
+                       LinkState to) {
+                rerouter->onLinkTransition(src, dst, from, to);
+            });
         for (auto &dma : _dmas)
             dma->setRerouter(_rerouter.get());
     }

@@ -464,6 +464,132 @@ TEST(RerouterTest, IdenticalSeedsReplayTickForTick)
     EXPECT_GT(std::get<2>(a), 0.0);
 }
 
+TEST(LinkHealthTest, MttrLifecycleRepromotesAndDropsDetours)
+{
+    // A seeded MTTR/MTBF lifecycle kills the 0->1 link at least once
+    // inside its horizon and repairs it. Under continuous load the
+    // monitor must walk the link back to HEALTHY and the rerouter
+    // must drop its detour plans once the wire re-promotes — traffic
+    // after recovery rides the direct link again.
+    HealthHarness h((pairwiseVolta()));
+    h.system.enableHealth();
+    Rerouter &rr = h.system.enableReroute();
+
+    // Seed 1 draws two outages, [97, 244) and [283, 500) us: long
+    // enough for the loss streak to trip DOWN, with over a
+    // millisecond of clean traffic after the last repair.
+    LinkLifecycleOptions lifecycle;
+    lifecycle.mtbf = 80 * ticksPerMicrosecond;
+    lifecycle.mttr = 200 * ticksPerMicrosecond;
+    lifecycle.horizon = 500 * ticksPerMicrosecond;
+    FaultPlan plan;
+    plan.flapLink(1, 0, 1, lifecycle);
+    ASSERT_FALSE(plan.empty());
+    h.system.installFaults(std::move(plan));
+
+    // Chunks stream well past the lifecycle horizon, so the link
+    // sees losses while dead and clean samples after every repair.
+    PollingAgent agent(
+        h.context(TransferMechanism::Polling, testRetry(6)));
+    auto &eq = h.system.eventQueue();
+    const int chunks = 40;
+    for (int c = 0; c < chunks; ++c) {
+        eq.schedule(static_cast<Tick>(c) * 40 * ticksPerMicrosecond,
+                    [&agent, c] { agent.chunkReady(c, 64 * KiB); });
+    }
+    h.system.run();
+
+    bool went_down = false;
+    bool recovered = false;
+    for (const auto &t : h.system.health()->transitions()) {
+        if (t.src != 0 || t.dst != 1)
+            continue;
+        if (t.to == LinkState::Down)
+            went_down = true;
+        else if (went_down && t.to == LinkState::Healthy)
+            recovered = true;
+    }
+    EXPECT_TRUE(went_down);
+    EXPECT_TRUE(recovered);
+    EXPECT_EQ(h.system.health()->linkState(0, 1), LinkState::Healthy);
+
+    // Re-promotion evicted the detour: the post-recovery plan is the
+    // plain direct link, and no chunk was lost or duplicated.
+    const auto &legs = rr.plan(0, 1);
+    ASSERT_EQ(legs.size(), 1u);
+    EXPECT_TRUE(legs[0].direct());
+    EXPECT_EQ(h.deliveries, chunks * h.peers());
+}
+
+TEST(RerouterTest, PushInvalidatesExactlyOncePerWireTransition)
+{
+    MultiGpuSystem system(pairwiseVolta());
+    LinkHealthMonitor &mon = system.enableHealth();
+    Rerouter &rr = system.enableReroute();
+    ASSERT_TRUE(rr.pushInvalidation());
+
+    // Congestion round trip: HEALTHY -> CONGESTED -> HEALTHY. Both
+    // flips reach the push listener and both are ignored.
+    for (int i = 0; i < 8; ++i)
+        mon.recordSample(0, 1, 64 * KiB, ticksPerSecond, 1);
+    ASSERT_EQ(mon.linkState(0, 1), LinkState::Congested);
+    for (int i = 0; i < 48; ++i)
+        mon.recordSample(0, 1, 64 * KiB, 0, 1);
+    ASSERT_EQ(mon.linkState(0, 1), LinkState::Healthy);
+    EXPECT_EQ(rr.stats().get("reroute.push_invalidations"), 0.0);
+    EXPECT_EQ(rr.stats().get("reroute.push_ignored"), 2.0);
+
+    // Wire round trip: HEALTHY -> DOWN -> HEALTHY. Each wire
+    // transition invalidates exactly once — the counters stay equal.
+    for (int i = 0; i < mon.policy().downAfterLosses; ++i)
+        mon.recordLoss(0, 1);
+    ASSERT_EQ(mon.linkState(0, 1), LinkState::Down);
+    EXPECT_EQ(rr.stats().get("reroute.push_invalidations"),
+              mon.stats().get("health.wire_transitions"));
+
+    for (int i = 0; i < 16; ++i)
+        mon.recordSample(0, 1, 64 * KiB, 0, 1);
+    ASSERT_EQ(mon.linkState(0, 1), LinkState::Healthy);
+    EXPECT_EQ(mon.stats().get("health.wire_transitions"), 2.0);
+    EXPECT_EQ(rr.stats().get("reroute.push_invalidations"), 2.0);
+    EXPECT_EQ(rr.stats().get("reroute.push_ignored"), 2.0);
+}
+
+TEST(RerouterTest, QuietFabricServesPlansWithZeroEpochReads)
+{
+    MultiGpuSystem system(pairwiseVolta());
+    system.enableHealth();
+    Rerouter &rr = system.enableReroute(); // Push-invalidation mode.
+
+    const int n = system.numGpus();
+    const int pairs = n * (n - 1);
+    const int rounds = 100;
+    for (int round = 0; round < rounds; ++round) {
+        for (int s = 0; s < n; ++s) {
+            for (int d = 0; d < n; ++d) {
+                if (s != d) {
+                    ASSERT_TRUE(rr.plan(s, d)[0].direct());
+                }
+            }
+        }
+    }
+    // Quiet fabric: one compute per pair, everything else a flag
+    // check — and not a single provider epoch read on the send path.
+    EXPECT_EQ(rr.stats().get("reroute.epoch_reads"), 0.0);
+    EXPECT_EQ(rr.stats().get("reroute.plan_computes"),
+              static_cast<double>(pairs));
+    EXPECT_EQ(rr.stats().get("reroute.plan_cache_hits"),
+              static_cast<double>((rounds - 1) * pairs));
+
+    // Contrast: a pull-mode rerouter on the same monitor pays epoch
+    // reads on every validated lookup.
+    Rerouter pull(system.eventQueue(), system.fabric(),
+                  *system.health());
+    for (int round = 0; round < 10; ++round)
+        pull.plan(0, 1);
+    EXPECT_GT(pull.stats().get("reroute.epoch_reads"), 0.0);
+}
+
 TEST(ReprofilerTest, RequiresHealthMonitor)
 {
     MultiGpuSystem system(voltaPlatform());
