@@ -1,0 +1,74 @@
+#include "fleet/elector.hh"
+
+#include "proact/profiler.hh"
+#include "sim/logging.hh"
+#include "workloads/registry.hh"
+
+#include <utility>
+
+namespace proact::fleet {
+
+StrategyElector::StrategyElector(PlatformSpec platform,
+                                 Options options)
+    : _platform(std::move(platform)), _options(std::move(options))
+{
+}
+
+StrategyElector::StrategyElector(PlatformSpec platform)
+    : StrategyElector(std::move(platform), Options{})
+{
+}
+
+Election
+StrategyElector::elect(const std::string &workload, int gpus,
+                       int share_count)
+{
+    if (gpus < 2)
+        fatalError("StrategyElector: need >= 2 GPUs, got ", gpus);
+    if (share_count < 1)
+        fatalError("StrategyElector: bad share count ", share_count);
+
+    _stats.inc("elect.requests");
+    const std::string key = workload + "|" + std::to_string(gpus)
+        + "|" + std::to_string(share_count);
+    if (const auto it = _cache.find(key); it != _cache.end()) {
+        _stats.inc("elect.cache_hits");
+        Election hit = it->second;
+        hit.cacheHit = true;
+        return hit;
+    }
+
+    // Cache miss: narrowed sweep on the tenant's fabric slice. The
+    // slice is the full platform at the requested GPU count with the
+    // plane's per-GPU bandwidth split across its tenants — sharing
+    // shifts the compute/communication balance, so a shared slice
+    // may elect a different granularity than an exclusive one.
+    _stats.inc("elect.sweeps");
+    PlatformSpec slice = _platform.withGpuCount(gpus);
+    slice.fabric.perGpuBidirBandwidth /=
+        static_cast<double>(share_count);
+
+    Profiler::Options opts = AdaptiveReprofiler::narrowedOptions(
+        _options.anchor, _options.narrow);
+    opts.includeInline = _options.considerInline;
+    opts.profileIterations = _options.profileIterations;
+
+    Profiler profiler(slice, opts);
+    auto instance = makeWorkload(workload, _options.scaleShift);
+    instance->setup(gpus);
+    const ProfileResult result = profiler.profile(*instance);
+    _stats.inc("elect.candidates",
+               static_cast<double>(result.entries.size())
+                   + (opts.includeInline ? 1.0 : 0.0));
+
+    Election election;
+    election.config = result.best;
+    election.paradigm =
+        result.best.mechanism == TransferMechanism::Inline
+        ? Paradigm::ProactInline
+        : Paradigm::ProactDecoupled;
+    _cache.emplace(key, election);
+    return election;
+}
+
+} // namespace proact::fleet

@@ -1,0 +1,382 @@
+#include "fleet/fleet_session.hh"
+
+#include "sim/logging.hh"
+#include "workloads/registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <queue>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace proact::fleet {
+
+HealthPolicy
+fleetHealthPolicy()
+{
+    HealthPolicy policy;
+    // The fleet fabric carries no payload, only booked observations:
+    // there is nothing for a probe to traverse, and the fleet event
+    // queue is never run.
+    policy.probeInterval = 0;
+    return policy;
+}
+
+Tick
+FleetReport::percentile(std::vector<Tick> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    // Nearest-rank: integer arithmetic on sorted ticks, so the same
+    // sample set always yields the same byte-identical answer.
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    return values[std::min(idx, values.size() - 1)];
+}
+
+std::map<std::string, std::vector<Tick>>
+FleetReport::latenciesByWorkload() const
+{
+    std::map<std::string, std::vector<Tick>> classes;
+    for (const TenantRecord &t : tenants)
+        classes[t.job.workload].push_back(t.latency);
+    return classes;
+}
+
+std::string
+FleetReport::percentileTable() const
+{
+    std::ostringstream oss;
+    oss << "class                 n     p50us     p95us     p99us\n";
+    auto row = [&](const std::string &name,
+                   const std::vector<Tick> &lat) {
+        oss << std::left << std::setw(18) << name << std::right
+            << std::setw(5) << lat.size() << std::setw(10)
+            << percentile(lat, 50.0) / ticksPerMicrosecond
+            << std::setw(10)
+            << percentile(lat, 95.0) / ticksPerMicrosecond
+            << std::setw(10)
+            << percentile(lat, 99.0) / ticksPerMicrosecond << "\n";
+    };
+    for (const auto &[name, lat] : latenciesByWorkload())
+        row(name, lat);
+    std::vector<Tick> all;
+    for (const TenantRecord &t : tenants)
+        all.push_back(t.latency);
+    row("(fleet)", all);
+    return oss.str();
+}
+
+std::string
+FleetReport::toJson(const std::string &platform_name,
+                    std::uint64_t stream_seed) const
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(4);
+    oss << "{\n";
+    oss << "  \"platform\": \"" << platform_name << "\",\n";
+    oss << "  \"stream_seed\": " << stream_seed << ",\n";
+    oss << "  \"jobs\": " << tenants.size() << ",\n";
+    oss << "  \"makespan_ticks\": " << makespan << ",\n";
+    oss << "  \"latency_p50_ticks\": " << p50 << ",\n";
+    oss << "  \"latency_p95_ticks\": " << p95 << ",\n";
+    oss << "  \"latency_p99_ticks\": " << p99 << ",\n";
+    oss << "  \"throughput_jobs_per_sec\": " << throughputJobsPerSec
+        << ",\n";
+    oss << "  \"payload_gbps\": " << payloadGBps << ",\n";
+    oss << "  \"fabric_utilization\": " << fabricUtilization << ",\n";
+    oss << "  \"election_sweeps\": " << electionSweeps << ",\n";
+    oss << "  \"election_cache_hits\": " << electionCacheHits << ",\n";
+    oss << "  \"admitted\": " << admitted << ",\n";
+    oss << "  \"deferred_capacity\": " << deferredCapacity << ",\n";
+    oss << "  \"deferred_congestion\": " << deferredCongestion
+        << ",\n";
+    oss << "  \"forced_admissions\": " << forcedAdmissions << ",\n";
+
+    oss << "  \"classes\": [\n";
+    const auto classes = latenciesByWorkload();
+    std::size_t c = 0;
+    for (const auto &[name, lat] : classes) {
+        oss << "    {\"workload\": \"" << name << "\", \"jobs\": "
+            << lat.size() << ", \"p50_ticks\": "
+            << percentile(lat, 50.0) << ", \"p95_ticks\": "
+            << percentile(lat, 95.0) << ", \"p99_ticks\": "
+            << percentile(lat, 99.0) << "}"
+            << (++c < classes.size() ? "," : "") << "\n";
+    }
+    oss << "  ],\n";
+
+    oss << "  \"tenants\": [\n";
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const TenantRecord &t = tenants[i];
+        oss << "    {\"id\": " << t.job.id << ", \"workload\": \""
+            << t.job.workload << "\", \"gpus\": " << t.job.gpus
+            << ", \"priority\": " << t.job.priority
+            << ", \"plane\": "
+            << (t.placement.planes.empty() ? -1
+                                           : t.placement.planes[0])
+            << ", \"share\": " << t.placement.shareCount
+            << ", \"paradigm\": \""
+            << paradigmName(t.election.paradigm) << "\""
+            << ", \"config\": \"" << t.election.config.toString()
+            << "\", \"cache_hit\": "
+            << (t.election.cacheHit ? "true" : "false")
+            << ", \"arrival_ticks\": " << t.job.arrival
+            << ", \"admitted_ticks\": " << t.admitted
+            << ", \"queue_delay_ticks\": " << t.queueDelay
+            << ", \"service_ticks\": " << t.serviceTicks
+            << ", \"latency_ticks\": " << t.latency
+            << ", \"met_deadline\": "
+            << (t.metDeadline ? "true" : "false")
+            << ", \"faults_dropped\": " << t.run.faultsDropped
+            << ", \"retries\": " << t.run.retries << "}"
+            << (i + 1 < tenants.size() ? "," : "") << "\n";
+    }
+    oss << "  ]\n";
+    oss << "}\n";
+    return oss.str();
+}
+
+FleetSession::FleetSession(PlatformSpec platform, Options options)
+    : _platform(std::move(platform)), _options(std::move(options)),
+      _elector(_platform, _options.elector),
+      _fabric(_eq, _platform.fabric, _platform.numGpus),
+      _monitor(_eq, _fabric, fleetHealthPolicy())
+{
+    if (_platform.numGpus < 2)
+        fatalError("FleetSession: need a multi-GPU platform");
+}
+
+FleetSession::FleetSession(PlatformSpec platform)
+    : FleetSession(std::move(platform), Options{})
+{
+}
+
+void
+FleetSession::feedPlane(const PlacementAllocator &allocator,
+                        int plane, int samples, double ratio)
+{
+    const auto [src, dst] = allocator.planeRepLink(plane);
+    if (src == dst)
+        return;
+
+    // Mirror the monitor's own expected-time computation so a fed
+    // ratio of R lands as a per-sample queue ratio of exactly R: the
+    // wire time of the sample payload at the pair's nominal rate
+    // plus the fabric latency. Service time equals the expectation,
+    // so the wire signal stays pinned HEALTHY — co-tenant contention
+    // is queueing, never degradation.
+    const std::uint64_t wire = _fabric.packetModel().wireBytes(
+        _options.congestionSampleBytes,
+        _fabric.packetModel().maxPayloadBytes);
+    double nominal = _fabric.spec().egressRate();
+    if (_fabric.pairwise())
+        nominal /= static_cast<double>(_fabric.numGpus() - 1);
+    const double rate =
+        std::min(_fabric.effectiveEgressRate(0), nominal);
+    const Tick expected =
+        transferTicks(wire, rate) + _fabric.spec().latency;
+    const Tick queue_delay =
+        static_cast<Tick>(ratio * static_cast<double>(expected));
+
+    for (int i = 0; i < samples; ++i) {
+        _monitor.recordSample(src, dst,
+                              _options.congestionSampleBytes,
+                              queue_delay, expected);
+    }
+}
+
+TenantRecord
+FleetSession::runTenant(const JobSpec &job,
+                        const Placement &placement, Tick now)
+{
+    TenantRecord rec;
+    rec.job = job;
+    rec.placement = placement;
+    rec.election =
+        _elector.elect(job.workload, job.gpus, placement.shareCount);
+
+    // The tenant's world: the machine at its GPU count, with its
+    // plane's per-GPU bandwidth split across the plane's tenants.
+    // Running on a private slice is what makes placement isolation
+    // real — no counter, fault or observer can cross tenants.
+    PlatformSpec slice = _platform.withGpuCount(job.gpus);
+    slice.fabric.perGpuBidirBandwidth /=
+        static_cast<double>(placement.shareCount);
+
+    auto workload = makeWorkload(job.workload, _options.scaleShift);
+    workload->setFootprintScale(_options.footprintScale);
+    workload->setup(job.gpus);
+
+    Session::RunOptions run_options;
+    run_options.config = rec.election.config;
+    run_options.functional = _options.functional;
+    if (_options.faultPlanFor) {
+        run_options.faults = _options.faultPlanFor(job);
+        if (!run_options.faults.empty())
+            run_options.retry.enabled = true;
+    }
+    if (_options.observerFor)
+        run_options.deliveryObserver = _options.observerFor(job);
+
+    Session session(slice);
+    rec.run =
+        session.run(*workload, rec.election.paradigm, run_options);
+
+    rec.admitted = now;
+    rec.queueDelay = now - job.arrival;
+    rec.serviceTicks = rec.run.ticks;
+    rec.completion = now + rec.serviceTicks;
+    rec.latency = rec.completion - job.arrival;
+    rec.metDeadline =
+        job.deadline == 0 || rec.completion <= job.deadline;
+    return rec;
+}
+
+FleetReport
+FleetSession::serve(const std::vector<JobSpec> &jobs)
+{
+    PlacementAllocator allocator(_platform, _options.placement,
+                                 _options.maxTenantsPerPlane);
+    AdmissionController admission(_options.admission);
+
+    const double sweeps_before = _elector.stats().get("elect.sweeps");
+    const double hits_before =
+        _elector.stats().get("elect.cache_hits");
+
+    // Fleet clock: an explicit (tick, kind, idx) event list.
+    // Completions (kind 0) sort before arrivals at the same tick so
+    // freed GPUs are visible to the newcomer's admission pass.
+    struct Event
+    {
+        Tick tick;
+        int kind; ///< 0 = completion (record idx), 1 = arrival (job idx).
+        int idx;
+    };
+    auto later = [](const Event &a, const Event &b) {
+        return std::tie(a.tick, a.kind, a.idx)
+            > std::tie(b.tick, b.kind, b.idx);
+    };
+    std::priority_queue<Event, std::vector<Event>, decltype(later)>
+        events(later);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        events.push(Event{jobs[i].arrival, 1, static_cast<int>(i)});
+
+    std::vector<TenantRecord> records;
+    records.reserve(jobs.size());
+    std::vector<const JobSpec *> pending;
+    int running = 0;
+
+    const auto plane_congested = [&](int plane) {
+        const auto [src, dst] = allocator.planeRepLink(plane);
+        return src != dst
+            && _monitor.linkState(src, dst) == LinkState::Congested;
+    };
+
+    while (!events.empty()) {
+        const Event event = events.top();
+        events.pop();
+        const Tick now = event.tick;
+
+        if (event.kind == 0) {
+            const TenantRecord &done =
+                records[static_cast<std::size_t>(event.idx)];
+            allocator.release(done.placement);
+            --running;
+            // A plane that just emptied cools down: clean
+            // observations decay the queue EWMA below the clear
+            // threshold, re-opening the plane to co-location.
+            for (const int plane : done.placement.planes) {
+                if (allocator.tenantsOnPlane(plane) == 0) {
+                    feedPlane(allocator, plane,
+                              _options.congestionClearSamples, 0.0);
+                }
+            }
+        } else {
+            pending.push_back(
+                &jobs[static_cast<std::size_t>(event.idx)]);
+        }
+
+        // Admission pass: highest priority first; admitting one job
+        // only shrinks capacity, so a single sweep suffices.
+        AdmissionController::sortQueue(pending);
+        for (auto it = pending.begin(); it != pending.end();) {
+            const JobSpec &job = **it;
+            auto placement = admission.tryAdmit(
+                job, allocator, plane_congested, running == 0);
+            if (!placement) {
+                ++it;
+                continue;
+            }
+            records.push_back(runTenant(job, *placement, now));
+            events.push(Event{records.back().completion, 0,
+                              static_cast<int>(records.size()) - 1});
+            ++running;
+            // Fresh co-location backs up the plane's port group.
+            for (const int plane : placement->planes) {
+                if (allocator.tenantsOnPlane(plane) > 1) {
+                    feedPlane(allocator, plane,
+                              _options.congestionFeedSamples,
+                              _options.sharedQueueRatio);
+                }
+            }
+            it = pending.erase(it);
+        }
+    }
+
+    if (!pending.empty()) {
+        fatalError("FleetSession: job '", pending.front()->workload,
+                   "' x", pending.front()->gpus,
+                   " can never be placed on ", _platform.name);
+    }
+
+    FleetReport report;
+    report.tenants = std::move(records);
+
+    std::vector<Tick> latencies;
+    std::uint64_t payload = 0;
+    double gpu_ticks = 0.0;
+    for (const TenantRecord &t : report.tenants) {
+        latencies.push_back(t.latency);
+        payload += t.run.payloadBytes;
+        gpu_ticks += static_cast<double>(t.job.gpus)
+            * static_cast<double>(t.serviceTicks);
+        report.makespan = std::max(report.makespan, t.completion);
+    }
+    report.p50 = FleetReport::percentile(latencies, 50.0);
+    report.p95 = FleetReport::percentile(latencies, 95.0);
+    report.p99 = FleetReport::percentile(latencies, 99.0);
+    if (report.makespan > 0) {
+        const double seconds = secondsFromTicks(report.makespan);
+        report.throughputJobsPerSec =
+            static_cast<double>(report.tenants.size()) / seconds;
+        report.payloadGBps =
+            static_cast<double>(payload) / seconds / 1e9;
+        report.fabricUtilization = gpu_ticks
+            / (static_cast<double>(_platform.numGpus)
+               * static_cast<double>(report.makespan));
+    }
+
+    const auto u64 = [](double v) {
+        return static_cast<std::uint64_t>(v);
+    };
+    report.electionSweeps =
+        u64(_elector.stats().get("elect.sweeps") - sweeps_before);
+    report.electionCacheHits =
+        u64(_elector.stats().get("elect.cache_hits") - hits_before);
+    report.admitted =
+        u64(admission.stats().get("admission.admitted"));
+    report.deferredCapacity =
+        u64(admission.stats().get("admission.deferred_capacity"));
+    report.deferredCongestion =
+        u64(admission.stats().get("admission.deferred_congestion"));
+    report.forcedAdmissions =
+        u64(admission.stats().get("admission.forced"));
+    return report;
+}
+
+} // namespace proact::fleet

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Multi-tenant fleet serving on one simulated fabric.
+ *
+ * A FleetSession drives a seeded stream of jobs through the
+ * admission -> placement -> election -> run pipeline:
+ *
+ *  - arrivals enter a priority queue (admission.hh);
+ *  - the placement allocator seats each admitted tenant on a plane
+ *    subset of the machine (placement.hh);
+ *  - the strategy elector picks paradigm + TransferConfig from its
+ *    profiler cache, sweeping a narrowed window on a miss
+ *    (elector.hh);
+ *  - the tenant executes through the ordinary Session harness on a
+ *    platform slice (its GPU count, its plane's bandwidth share),
+ *    optionally with a per-tenant fault plan and delivery observer.
+ *
+ * Fabric-wide contention is tracked by a fleet-owned
+ * LinkHealthMonitor: when a plane becomes shared the session books
+ * synthetic queueing observations on the plane's representative
+ * link, driving it CONGESTED exactly as real co-tenant backlog
+ * would; when the plane empties, clean observations decay the EWMA
+ * and the link recovers. Admission consults that state before
+ * co-locating.
+ *
+ * Everything is deterministic: the fleet clock is a discrete event
+ * list ordered by (tick, kind, id), every per-job random draw comes
+ * from a derived seed, and each tenant's nested simulation is
+ * tick-exact, so two serves of the same stream produce bit-identical
+ * reports.
+ */
+
+#ifndef PROACT_FLEET_FLEET_SESSION_HH
+#define PROACT_FLEET_FLEET_SESSION_HH
+
+#include "fleet/admission.hh"
+#include "fleet/elector.hh"
+#include "fleet/job.hh"
+#include "fleet/placement.hh"
+#include "harness/session.hh"
+#include "health/link_health.hh"
+#include "interconnect/interconnect.hh"
+#include "sim/event_queue.hh"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace proact::fleet {
+
+/** Everything the fleet learned about one served tenant. */
+struct TenantRecord
+{
+    JobSpec job;
+    Placement placement;
+    Election election;
+
+    Tick admitted = 0;     ///< Fleet tick the job started.
+    Tick queueDelay = 0;   ///< admitted - arrival.
+    Tick serviceTicks = 0; ///< Nested-simulation makespan.
+    Tick completion = 0;   ///< admitted + serviceTicks.
+    Tick latency = 0;      ///< completion - arrival.
+    bool metDeadline = true;
+
+    /** Harness counters of the tenant's run. */
+    ParadigmRun run;
+};
+
+/** Aggregate outcome of one serve() call. */
+struct FleetReport
+{
+    std::vector<TenantRecord> tenants;
+
+    Tick makespan = 0;
+
+    /** Fleet-wide latency percentiles (nearest-rank). */
+    Tick p50 = 0;
+    Tick p95 = 0;
+    Tick p99 = 0;
+
+    /** Jobs finished per second of fleet time. */
+    double throughputJobsPerSec = 0.0;
+
+    /** Payload moved across all tenants, GB per fleet second. */
+    double payloadGBps = 0.0;
+
+    /** Sum(gpus x service) / (machine GPUs x makespan). */
+    double fabricUtilization = 0.0;
+
+    std::uint64_t electionSweeps = 0;
+    std::uint64_t electionCacheHits = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t deferredCapacity = 0;
+    std::uint64_t deferredCongestion = 0;
+    std::uint64_t forcedAdmissions = 0;
+
+    /** Latency percentile of @p values (nearest-rank, p in (0,100]). */
+    static Tick percentile(std::vector<Tick> values, double p);
+
+    /** Per-workload-class latency percentiles, name-sorted. */
+    std::map<std::string, std::vector<Tick>> latenciesByWorkload()
+        const;
+
+    /**
+     * Canonical text table of per-tenant and per-class percentiles —
+     * the byte-comparable determinism artifact benches diff across
+     * runs.
+     */
+    std::string percentileTable() const;
+
+    /** Machine-readable report (BENCH_fleet.json payload). */
+    std::string toJson(const std::string &platform_name,
+                       std::uint64_t stream_seed) const;
+};
+
+/** Orchestrates admission, placement, election and execution. */
+class FleetSession
+{
+  public:
+    struct Options
+    {
+        PlacementMode placement = PlacementMode::PlaneSharing;
+        int maxTenantsPerPlane = 2;
+        AdmissionPolicy admission;
+        StrategyElector::Options elector;
+
+        /** Functional (verified) tenant runs; timing-only default. */
+        bool functional = false;
+
+        /** Scale shift applied to every tenant workload instance. */
+        int scaleShift = 6;
+
+        /** Footprint scale applied to every tenant instance. */
+        std::uint64_t footprintScale = 1;
+
+        /**
+         * Per-tenant fault schedule (empty plan = clean run). Lets
+         * tests fault one tenant and assert the neighbours never
+         * notice.
+         */
+        std::function<FaultPlan(const JobSpec &)> faultPlanFor;
+
+        /**
+         * Per-tenant delivery observer, registered on the tenant's
+         * private fabric next to its health machinery.
+         */
+        std::function<Interconnect::DeliveryObserver(const JobSpec &)>
+            observerFor;
+
+        /** @{ @name Synthetic plane-contention feed
+         * Queue-ratio target and sample counts booked on a plane's
+         * representative link when it becomes shared / empties.
+         * sharedQueueRatio must exceed the monitor's CONGESTED entry
+         * threshold for sharing to register.
+         */
+        double sharedQueueRatio = 4.0;
+        int congestionFeedSamples = 6;
+        int congestionClearSamples = 12;
+        std::uint64_t congestionSampleBytes = 1 * MiB;
+        /** @} */
+    };
+
+    FleetSession(PlatformSpec platform, Options options);
+
+    /** Same, with default Options (overload: a nested class's member
+     * initializers cannot appear in a default argument). */
+    explicit FleetSession(PlatformSpec platform);
+
+    /**
+     * Serve the whole stream to completion and report. Callable
+     * repeatedly; the election cache persists across calls (a second
+     * serve of the same stream elects without sweeping).
+     */
+    FleetReport serve(const std::vector<JobSpec> &jobs);
+
+    StrategyElector &elector() { return _elector; }
+    const LinkHealthMonitor &health() const { return _monitor; }
+    const PlatformSpec &platform() const { return _platform; }
+    const Options &options() const { return _options; }
+
+  private:
+    PlatformSpec _platform;
+    Options _options;
+    StrategyElector _elector;
+
+    /**
+     * Fleet-level fabric bookkeeping: never carries tenant payload
+     * (each tenant simulates on its own private system), but its
+     * health monitor holds the cross-tenant congestion state that
+     * admission consults. The event queue only provides the
+     * monitor's clock; it is never run.
+     */
+    EventQueue _eq;
+    Interconnect _fabric;
+    LinkHealthMonitor _monitor;
+
+    /** Book @p samples observations at @p ratio on a plane's link. */
+    void feedPlane(const PlacementAllocator &allocator, int plane,
+                   int samples, double ratio);
+
+    /** Execute one admitted tenant on its platform slice. */
+    TenantRecord runTenant(const JobSpec &job,
+                           const Placement &placement, Tick now);
+};
+
+/** Monitor policy used for the fleet-level congestion state. */
+HealthPolicy fleetHealthPolicy();
+
+} // namespace proact::fleet
+
+#endif // PROACT_FLEET_FLEET_SESSION_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * GPU subset allocation for co-resident tenants on one fabric.
+ *
+ * The allocator carves the platform into placement planes — on a
+ * DGX-2, the two 8-GPU baseboards whose traffic rides disjoint
+ * NVSwitch port groups; on the 4-GPU platforms, the whole machine is
+ * one plane. Disjoint mode gives every plane to at most one tenant
+ * (full fabric isolation: a tenant's faults and congestion cannot
+ * touch a neighbour). PlaneSharing packs up to maxTenantsPerPlane
+ * tenants per plane; sharing tenants split the plane's per-GPU
+ * bandwidth, which the fleet layer models by scaling each tenant's
+ * fabric spec by its placement's shareCount.
+ */
+
+#ifndef PROACT_FLEET_PLACEMENT_HH
+#define PROACT_FLEET_PLACEMENT_HH
+
+#include "system/platform.hh"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace proact::fleet {
+
+/** How tenants may overlap on a placement plane. */
+enum class PlacementMode
+{
+    Disjoint,     ///< One tenant per plane; full isolation.
+    PlaneSharing, ///< Up to maxTenantsPerPlane tenants per plane.
+};
+
+/** GPUs granted to one admitted tenant. */
+struct Placement
+{
+    /** Physical GPU ids, ascending. */
+    std::vector<int> gpus;
+
+    /** Planes the GPUs live on, ascending, deduplicated. */
+    std::vector<int> planes;
+
+    /**
+     * Tenants (including this one) on the most crowded plane used,
+     * fixed at admission: the divisor applied to the tenant's
+     * per-GPU fabric bandwidth for its whole run.
+     */
+    int shareCount = 1;
+
+    bool valid() const { return !gpus.empty(); }
+};
+
+/** First-fit, least-loaded-plane GPU allocator. */
+class PlacementAllocator
+{
+  public:
+    PlacementAllocator(const PlatformSpec &platform, PlacementMode mode,
+                       int max_tenants_per_plane = 2);
+
+    /**
+     * Try to grant @p gpus GPUs inside a single plane, preferring the
+     * least-loaded (fewest tenants, then lowest id) plane with room;
+     * lowest-id free GPUs win. Deterministic for a given allocator
+     * state.
+     *
+     * @return The placement, or nullopt when no plane has capacity.
+     */
+    std::optional<Placement> tryAllocate(int gpus);
+
+    /** Return a placement's GPUs and tenant slots to the pool. */
+    void release(const Placement &placement);
+
+    int numPlanes() const
+    {
+        return static_cast<int>(_planes.size());
+    }
+
+    int gpusPerPlane() const { return _gpusPerPlane; }
+
+    /** Tenants currently holding GPUs on @p plane. */
+    int tenantsOnPlane(int plane) const;
+
+    /** Free GPUs remaining on @p plane. */
+    int freeGpusOnPlane(int plane) const;
+
+    /**
+     * Representative directed link of @p plane — its two lowest GPU
+     * ids — on which the fleet layer books congestion observations
+     * for the whole plane's port group.
+     */
+    std::pair<int, int> planeRepLink(int plane) const;
+
+    PlacementMode mode() const { return _mode; }
+
+  private:
+    struct Plane
+    {
+        int firstGpu = 0;
+        int tenants = 0;
+        std::vector<bool> busy; ///< Per-GPU occupancy.
+    };
+
+    PlacementMode _mode;
+    int _maxTenantsPerPlane;
+    int _gpusPerPlane;
+    std::vector<Plane> _planes;
+};
+
+} // namespace proact::fleet
+
+#endif // PROACT_FLEET_PLACEMENT_HH

@@ -50,37 +50,64 @@ Session::run(Workload &workload, Paradigm paradigm,
              const TransferConfig &config, bool functional,
              const WorkloadFactory &reprofile_factory)
 {
-    MultiGpuSystem system(_platform);
-    system.setFunctional(functional);
-
     // PROACT_FAULTS=1 turns any session run into a fault-injection
     // run: the env-described plan is armed on the fresh system and
     // the PROACT paths get the matching retry policy (a lossy fabric
     // without acknowledged delivery would lose deliveries). The
     // fault-adaptive layers stack on top, each behind its own knob.
-    TransferConfig effective = config;
-    std::unique_ptr<AdaptiveReprofiler> reprofiler;
+    RunOptions options;
+    options.config = config;
+    options.functional = functional;
+    options.reprofileFactory = reprofile_factory;
     if (envFaultsEnabled()) {
-        system.installFaults(envFaultPlan());
-        effective.retry = envRetryPolicy();
-        if (envHealthEnabled()) {
-            system.enableHealth(envHealthPolicy());
-            // Boundary-aware bookings: in-flight transfers follow
-            // degradation windows instead of keeping their stale
-            // delivery tick.
-            system.fabric().setRebooking(true);
-        }
-        if (envRerouteEnabled())
-            system.enableReroute();
-        if (envReprofileEnabled() && reprofile_factory &&
-            paradigm == Paradigm::ProactDecoupled) {
-            TransferConfig initial = effective;
-            if (!initial.decoupled())
-                initial.mechanism = TransferMechanism::Polling;
-            reprofiler = std::make_unique<AdaptiveReprofiler>(
-                system, reprofile_factory, initial);
-        }
+        options.armFaults = true;
+        options.faults = envFaultPlan();
+        options.retry = envRetryPolicy();
+        options.health = envHealthEnabled();
+        options.healthPolicy = envHealthPolicy();
+        options.reroute = envRerouteEnabled();
+        options.reroutePolicy = envReroutePolicy();
+        options.reprofile = envReprofileEnabled();
     }
+    return run(workload, paradigm, options);
+}
+
+ParadigmRun
+Session::run(Workload &workload, Paradigm paradigm,
+             const RunOptions &options)
+{
+    MultiGpuSystem system(_platform);
+    system.setFunctional(options.functional);
+
+    TransferConfig effective = options.config;
+    std::unique_ptr<AdaptiveReprofiler> reprofiler;
+    const bool armed = options.armFaults || !options.faults.empty();
+    if (armed) {
+        system.installFaults(options.faults);
+        effective.retry = options.retry;
+    }
+    if (options.health || options.reroute || options.reprofile) {
+        system.enableHealth(options.healthPolicy);
+        // Boundary-aware bookings: in-flight transfers follow
+        // degradation windows instead of keeping their stale
+        // delivery tick.
+        system.fabric().setRebooking(true);
+    }
+    if (options.reroute)
+        system.enableReroute(options.reroutePolicy);
+    if (options.reprofile && options.reprofileFactory &&
+        paradigm == Paradigm::ProactDecoupled) {
+        TransferConfig initial = effective;
+        if (!initial.decoupled())
+            initial.mechanism = TransferMechanism::Polling;
+        reprofiler = std::make_unique<AdaptiveReprofiler>(
+            system, options.reprofileFactory, initial);
+    }
+
+    // Per-tenant tracing rides the observer list next to the health
+    // monitor's slot — exactly what the single-slot setter forbade.
+    if (options.deliveryObserver)
+        system.fabric().addDeliveryObserver(options.deliveryObserver);
 
     auto runtime =
         makeRuntime(paradigm, system, effective, reprofiler.get());
@@ -122,7 +149,7 @@ Session::run(Workload &workload, Paradigm paradigm,
             u64(reprofiler->stats().get("reprofile.sweeps"));
     }
 
-    if (functional && !workload.verify())
+    if (options.functional && !workload.verify())
         fatalError("Session: '", workload.name(),
                    "' failed verification under ", runtime->name());
     return result;

@@ -70,6 +70,53 @@ using WorkloadFactory =
 class Session
 {
   public:
+    /**
+     * Programmatic control over one paradigm execution. The
+     * env-driven run() overload builds one of these from the
+     * PROACT_* environment; multi-tenant drivers (src/fleet) build
+     * them directly so every tenant can carry its own fault plan and
+     * tracing without touching global state.
+     */
+    struct RunOptions
+    {
+        TransferConfig config;
+
+        /** Run the real math (verifiable) or timing-only (fast). */
+        bool functional = true;
+
+        /**
+         * Fault schedule armed on the fresh system. Empty = perfect
+         * fabric unless @c armFaults forces an (inert) injector.
+         */
+        FaultPlan faults;
+        bool armFaults = false;
+
+        /** Retry policy forced onto the config when faults are armed. */
+        RetryPolicy retry;
+
+        /** Link health monitoring on the fresh system. */
+        bool health = false;
+        HealthPolicy healthPolicy;
+
+        /** Detours/splits around unhealthy links (implies health). */
+        bool reroute = false;
+        ReroutePolicy reroutePolicy;
+
+        /**
+         * Adaptive re-profiling at iteration boundaries (implies
+         * health; needs reprofileFactory and ProactDecoupled).
+         */
+        bool reprofile = false;
+        WorkloadFactory reprofileFactory;
+
+        /**
+         * Extra delivery observer registered on the fresh system's
+         * fabric for the duration of the run — per-tenant tracing
+         * riding alongside the health monitor's own observer.
+         */
+        Interconnect::DeliveryObserver deliveryObserver;
+    };
+
     explicit Session(PlatformSpec platform);
 
     const PlatformSpec &platform() const { return _platform; }
@@ -99,6 +146,14 @@ class Session
                     const TransferConfig &config = {},
                     bool functional = true,
                     const WorkloadFactory &reprofile_factory = {});
+
+    /**
+     * Execute @p workload under @p paradigm with every knob given
+     * programmatically — no environment reads. The fleet serving
+     * layer runs each tenant through this overload.
+     */
+    ParadigmRun run(Workload &workload, Paradigm paradigm,
+                    const RunOptions &options);
 
     /**
      * Full paper-style comparison: profile, run every paradigm, and

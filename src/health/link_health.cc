@@ -40,7 +40,7 @@ LinkHealthMonitor::LinkHealthMonitor(EventQueue &eq,
                    "clearQueueRatio < congestedQueueRatio");
     }
 
-    _fabric.setDeliveryObserver(
+    _observerHandle = _fabric.addDeliveryObserver(
         [this](const Interconnect::Request &req,
                const Interconnect::DeliverySample &sample) {
             // The hardware-reliable bulk path is fault-exempt by
@@ -61,7 +61,7 @@ LinkHealthMonitor::LinkHealthMonitor(EventQueue &eq,
 
 LinkHealthMonitor::~LinkHealthMonitor()
 {
-    _fabric.setDeliveryObserver(nullptr);
+    _fabric.removeDeliveryObserver(_observerHandle);
 }
 
 std::size_t

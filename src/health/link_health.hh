@@ -134,8 +134,9 @@ class LinkHealthMonitor : public LinkStateProvider
                            LinkState to)>;
 
     /**
-     * Create the monitor and install itself as the fabric's delivery
-     * observer. The fabric must outlive the monitor.
+     * Create the monitor and register itself on the fabric's delivery
+     * observer list (other observers — per-tenant tracers, tests —
+     * coexist untouched). The fabric must outlive the monitor.
      */
     LinkHealthMonitor(EventQueue &eq, Interconnect &fabric,
                       HealthPolicy policy = {});
@@ -148,6 +149,12 @@ class LinkHealthMonitor : public LinkStateProvider
     /** @{ @name LinkStateProvider */
     LinkState linkState(int src, int dst) const override;
     double residualFraction(int src, int dst) const override;
+
+    /** Queueing-delay-over-service EWMA (== ewmaQueueRatio). */
+    double queueRatio(int src, int dst) const override
+    {
+        return ewmaQueueRatio(src, dst);
+    }
 
     /**
      * Bumped once per state transition (== transitions().size()), so
@@ -259,6 +266,7 @@ class LinkHealthMonitor : public LinkStateProvider
 
     EventQueue &_eq;
     Interconnect &_fabric;
+    Interconnect::ObserverHandle _observerHandle = 0;
     HealthPolicy _policy;
     StatSet _stats;
     std::uint64_t _epoch = 0;

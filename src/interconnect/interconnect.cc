@@ -250,8 +250,20 @@ Interconnect::finishDelivery(const Request &req, DeliverySample sample,
         _eq.schedule(delivered, req.onComplete);
     }
 
-    if (_deliveryObserver)
-        _deliveryObserver(req, sample);
+    // An observer may deregister (but not register) from inside its
+    // callback: removal mid-dispatch only nulls the slot, so the
+    // index walk stays valid; nulled slots compact afterwards.
+    if (!_observers.empty()) {
+        _dispatchingObservers = true;
+        for (std::size_t i = 0; i < _observers.size(); ++i) {
+            if (_observers[i].observer)
+                _observers[i].observer(req, sample);
+        }
+        _dispatchingObservers = false;
+        std::erase_if(_observers, [](const ObserverSlot &slot) {
+            return slot.observer == nullptr;
+        });
+    }
 
     if (_trace) {
         _trace->record(start, delivered,
@@ -264,6 +276,43 @@ Interconnect::finishDelivery(const Request &req, DeliverySample sample,
     // is when the delivery would have completed, which the retry
     // layer uses as its acknowledgement horizon.
     return delivered;
+}
+
+Interconnect::ObserverHandle
+Interconnect::addDeliveryObserver(DeliveryObserver observer)
+{
+    if (!observer)
+        fatalError("Interconnect: null delivery observer");
+    const ObserverHandle handle = _nextObserverHandle++;
+    _observers.push_back({handle, std::move(observer)});
+    return handle;
+}
+
+void
+Interconnect::removeDeliveryObserver(ObserverHandle handle)
+{
+    // While a delivery is being dispatched only the slot is nulled
+    // (erasing would shift the slots under the dispatch loop's feet);
+    // the loop compacts nulled slots when it finishes.
+    for (auto it = _observers.begin(); it != _observers.end(); ++it) {
+        if (it->handle == handle) {
+            it->observer = nullptr;
+            if (!_dispatchingObservers)
+                _observers.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Interconnect::setDeliveryObserver(DeliveryObserver observer)
+{
+    if (_shimObserver != 0) {
+        removeDeliveryObserver(_shimObserver);
+        _shimObserver = 0;
+    }
+    if (observer)
+        _shimObserver = addDeliveryObserver(std::move(observer));
 }
 
 void

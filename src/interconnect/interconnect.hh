@@ -130,11 +130,15 @@ class Interconnect
     /**
      * Observer of every submission's outcome, called once per
      * transfer at submission time with the full timing breakdown,
-     * including whether the fault filter dropped the delivery. This
-     * is the LinkHealthMonitor's feed; nullptr disables.
+     * including whether the fault filter dropped the delivery. The
+     * LinkHealthMonitor feeds from one; per-tenant tracers attach
+     * their own alongside it (addDeliveryObserver).
      */
     using DeliveryObserver = std::function<void(
         const Request &, const DeliverySample &)>;
+
+    /** Token identifying one registered delivery observer. */
+    using ObserverHandle = std::uint64_t;
 
     Interconnect(EventQueue &eq, const FabricSpec &spec, int num_gpus);
 
@@ -202,11 +206,31 @@ class Interconnect
         return _droppedDeliveries;
     }
 
-    /** Install the delivery observer (nullptr disables). */
-    void setDeliveryObserver(DeliveryObserver observer)
+    /**
+     * Register a delivery observer alongside any already installed.
+     * Observers fire in registration order, once per submission.
+     *
+     * @return Handle for removeDeliveryObserver. @p observer must be
+     *         non-null.
+     */
+    ObserverHandle addDeliveryObserver(DeliveryObserver observer);
+
+    /** Deregister a previously added observer (idempotent). */
+    void removeDeliveryObserver(ObserverHandle handle);
+
+    /** Registered observers (all slots, including the shim's). */
+    std::size_t numDeliveryObservers() const
     {
-        _deliveryObserver = std::move(observer);
+        return _observers.size();
     }
+
+    /**
+     * @deprecated Single-slot shim kept for one PR: replaces (or,
+     * with nullptr, removes) the one observer this setter manages,
+     * leaving observers registered via addDeliveryObserver intact.
+     * Migrate to addDeliveryObserver / removeDeliveryObserver.
+     */
+    void setDeliveryObserver(DeliveryObserver observer);
 
     /**
      * Boundary-aware in-flight transfers: when enabled, a mid-flight
@@ -244,7 +268,22 @@ class Interconnect
     Histogram _writeSizes;
     Trace *_trace = nullptr;
     FaultFilter _faultFilter;
-    DeliveryObserver _deliveryObserver;
+
+    /** Registered delivery observers, fired in registration order. */
+    struct ObserverSlot
+    {
+        ObserverHandle handle;
+        DeliveryObserver observer;
+    };
+    std::vector<ObserverSlot> _observers;
+    ObserverHandle _nextObserverHandle = 1;
+
+    /** Slot owned by the deprecated setDeliveryObserver shim. */
+    ObserverHandle _shimObserver = 0;
+
+    /** Guard so observer removal mid-dispatch stays index-safe. */
+    bool _dispatchingObservers = false;
+
     std::uint64_t _droppedDeliveries = 0;
 
     /** One channel hop of a tracked in-flight transfer. */

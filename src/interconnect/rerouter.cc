@@ -34,6 +34,16 @@ Rerouter::Rerouter(EventQueue &eq, Interconnect &fabric,
     _cacheValid.assign(pairs, 0);
 }
 
+double
+Rerouter::congestionWeight(int src, int dst) const
+{
+    if (_health.linkState(src, dst) != LinkState::Congested)
+        return 1.0;
+    if (!_policy.queueWeightedCongestion)
+        return _policy.congestedPenalty;
+    return 1.0 / (1.0 + _health.queueRatio(src, dst));
+}
+
 std::vector<std::pair<int, double>>
 Rerouter::scoredRelays(int src, int dst) const
 {
@@ -48,11 +58,12 @@ Rerouter::scoredRelays(int src, int dst) const
         // Spread-don't-detour: congested relay legs keep their full
         // residual (the wire is fine) but score lower, so the fan-out
         // leans toward quiet relays instead of piling onto a port
-        // that is already backed up.
-        if (_health.linkState(src, k) == LinkState::Congested)
-            s *= _policy.congestedPenalty;
-        if (_health.linkState(k, dst) == LinkState::Congested)
-            s *= _policy.congestedPenalty;
+        // that is already backed up. The flat penalty treats every
+        // backlog alike; queue weighting scales each leg by
+        // 1 / (1 + queueDelay ratio) so sustained hotspots shed load
+        // in proportion to how deep their queues actually are.
+        s *= congestionWeight(src, k);
+        s *= congestionWeight(k, dst);
         if (s > 0.0)
             relays.emplace_back(k, s);
     }

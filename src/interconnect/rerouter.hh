@@ -120,6 +120,19 @@ struct ReroutePolicy
      * congestion-blind.
      */
     double congestedPenalty = 0.5;
+
+    /**
+     * Queueing-theoretic congestion weighting: instead of the flat
+     * congestedPenalty discount, each CONGESTED leg's score divides
+     * by (1 + queueRatio) — the provider's EWMA of queueing delay
+     * over service time — so a leg that is twice as backed up takes
+     * proportionally less of the spread. Under sustained multi-
+     * tenant hotspots the flat discount treats a barely-congested
+     * and a drowning relay identically; the queue weight splits
+     * between them by their actual backlogs. Enabled from the
+     * environment via PROACT_REROUTE_QUEUE_WEIGHT=1.
+     */
+    bool queueWeightedCongestion = false;
 };
 
 /**
@@ -254,6 +267,13 @@ class Rerouter
     bool _pushInvalidation = false;
 
     std::vector<Leg> computePlan(int src, int dst) const;
+
+    /**
+     * Score multiplier a leg pays for congestion on src -> dst: 1 on
+     * a non-congested link, the flat congestedPenalty by default, or
+     * 1 / (1 + queueRatio) under queueWeightedCongestion.
+     */
+    double congestionWeight(int src, int dst) const;
 
     /**
      * Scored single-relay candidates (relay id, discounted score),

@@ -67,28 +67,36 @@ AdaptiveReprofiler::AdaptiveReprofiler(MultiGpuSystem &system,
 }
 
 Profiler::Options
-AdaptiveReprofiler::sweepOptions() const
+AdaptiveReprofiler::narrowedOptions(const TransferConfig &around,
+                                    const Options &options)
 {
     Profiler::Options opts;
-    opts.profileIterations = _options.profileIterations;
+    opts.profileIterations = options.profileIterations;
     opts.includeInline = false;
 
-    opts.chunkSizes = _options.chunkSizes.empty()
-        ? windowAround(chunkSizeSweep(), _current.chunkBytes,
-                       _options.chunkRadius)
-        : _options.chunkSizes;
-    opts.threadCounts = _options.threadCounts.empty()
-        ? windowAround(threadCountSweep(), _current.transferThreads,
-                       _options.threadRadius)
-        : _options.threadCounts;
+    opts.chunkSizes = options.chunkSizes.empty()
+        ? windowAround(chunkSizeSweep(), around.chunkBytes,
+                       options.chunkRadius)
+        : options.chunkSizes;
+    opts.threadCounts = options.threadCounts.empty()
+        ? windowAround(threadCountSweep(), around.transferThreads,
+                       options.threadRadius)
+        : options.threadCounts;
 
-    if (!_options.mechanisms.empty()) {
-        opts.mechanisms = _options.mechanisms;
-    } else if (_current.decoupled()) {
-        opts.mechanisms = {_current.mechanism};
+    if (!options.mechanisms.empty()) {
+        opts.mechanisms = options.mechanisms;
+    } else if (around.decoupled()) {
+        opts.mechanisms = {around.mechanism};
     }
     // (Inline current: keep the default mechanism candidates — the
     // adaptation point of an inline config is switching to decoupled.)
+    return opts;
+}
+
+Profiler::Options
+AdaptiveReprofiler::sweepOptions() const
+{
+    Profiler::Options opts = narrowedOptions(_current, _options);
 
     // Reproduce the fabric as observed right now on every candidate.
     opts.faults = _system.health()->toFaultPlan();

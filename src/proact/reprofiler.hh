@@ -83,6 +83,17 @@ class AdaptiveReprofiler
     AdaptiveReprofiler &operator=(const AdaptiveReprofiler &) = delete;
 
     /**
+     * Narrowed sweep space centred on @p around: the window of
+     * chunk sizes / thread counts (index +- radius in the paper
+     * sweeps) and the mechanism set @p options describes, with
+     * inline excluded. Shared machinery: the reprofiler adds the
+     * observed fault state on top, and the fleet strategy elector
+     * uses it as-is for cache-miss elections.
+     */
+    static Profiler::Options narrowedOptions(
+        const TransferConfig &around, const Options &options);
+
+    /**
      * Called by the runtime at a region boundary: when a link-state
      * change is pending, run the narrowed fault-aware sweep and adopt
      * the winner.

@@ -25,6 +25,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <tuple>
 
 using namespace proact;
@@ -464,3 +465,99 @@ TEST_P(CongestionFuzz, ExactlyOnceUnderFlappingAndCongestion)
 
 INSTANTIATE_TEST_SUITE_P(Cases, CongestionFuzz,
                          ::testing::Range<std::uint64_t>(0u, 8u));
+
+namespace {
+
+/**
+ * Fixed-state provider for routing unit tests: every link HEALTHY
+ * except an explicit list, with per-link queue ratios.
+ */
+class ScriptedLinkState : public LinkStateProvider
+{
+  public:
+    void set(int src, int dst, LinkState state, double queue_ratio = 0.0)
+    {
+        _states[key(src, dst)] = state;
+        _ratios[key(src, dst)] = queue_ratio;
+    }
+
+    LinkState linkState(int src, int dst) const override
+    {
+        const auto it = _states.find(key(src, dst));
+        return it == _states.end() ? LinkState::Healthy : it->second;
+    }
+
+    double residualFraction(int src, int dst) const override
+    {
+        return linkState(src, dst) == LinkState::Down ? 0.0 : 1.0;
+    }
+
+    double queueRatio(int src, int dst) const override
+    {
+        const auto it = _ratios.find(key(src, dst));
+        return it == _ratios.end() ? 0.0 : it->second;
+    }
+
+  private:
+    static long key(int src, int dst) { return 1000L * src + dst; }
+    std::map<long, LinkState> _states;
+    std::map<long, double> _ratios;
+};
+
+/** Fraction carried via relay @p via in @p plan (0 if absent). */
+double
+relayFraction(const std::vector<Rerouter::Leg> &plan, int via)
+{
+    for (const auto &leg : plan)
+        if (!leg.direct() && leg.via() == via)
+            return leg.fraction;
+    return 0.0;
+}
+
+} // namespace
+
+TEST(QueueWeightedReroute, FlatPenaltyTreatsAllBacklogsAlike)
+{
+    // Direct 0->1 is DOWN on a 4-GPU fabric; relays 2 and 3 are both
+    // CONGESTED on their first hop but with very different backlogs.
+    EventQueue eq;
+    FabricSpec spec = sharedVolta().fabric;
+    Interconnect fabric(eq, spec, 4);
+    ScriptedLinkState health;
+    health.set(0, 1, LinkState::Down);
+    health.set(0, 2, LinkState::Congested, 1.0);
+    health.set(0, 3, LinkState::Congested, 4.0);
+
+    ReroutePolicy flat;
+    flat.queueWeightedCongestion = false;
+    Rerouter rr(eq, fabric, health, flat);
+    const auto &plan = rr.plan(0, 1);
+    ASSERT_EQ(plan.size(), 2u);
+    // The flat congestedPenalty cannot tell a barely-congested relay
+    // from a drowning one: both get the same share.
+    EXPECT_DOUBLE_EQ(relayFraction(plan, 2), relayFraction(plan, 3));
+}
+
+TEST(QueueWeightedReroute, QueueWeightShedsLoadFromDeepBacklogs)
+{
+    EventQueue eq;
+    FabricSpec spec = sharedVolta().fabric;
+    Interconnect fabric(eq, spec, 4);
+    ScriptedLinkState health;
+    health.set(0, 1, LinkState::Down);
+    health.set(0, 2, LinkState::Congested, 1.0);
+    health.set(0, 3, LinkState::Congested, 4.0);
+
+    ReroutePolicy weighted;
+    weighted.queueWeightedCongestion = true;
+    Rerouter rr(eq, fabric, health, weighted);
+    const auto &plan = rr.plan(0, 1);
+    ASSERT_EQ(plan.size(), 2u);
+    const double quiet = relayFraction(plan, 2);
+    const double deep = relayFraction(plan, 3);
+    // Scores divide by (1 + queueRatio): relay 2 weighs 1/2, relay 3
+    // weighs 1/5, so the split is 5:2 toward the shallower queue.
+    EXPECT_GT(quiet, deep);
+    EXPECT_NEAR(quiet / deep, 2.5, 1e-9);
+    EXPECT_NEAR(quiet + deep, 1.0, 1e-9);
+}

@@ -215,3 +215,95 @@ TEST(Interconnect, FineGranularityCostsMoreWireTime)
     // 4B NVLink efficiency is 12x worse than 256B.
     EXPECT_GT(fine, 8 * coarse);
 }
+
+TEST(Interconnect, ObserverListAllFireAndRemoveByHandle)
+{
+    EventQueue eq;
+    Interconnect fab(eq, nvlink2Fabric(), 2);
+    int first = 0;
+    int second = 0;
+    const auto h1 = fab.addDeliveryObserver(
+        [&](const Interconnect::Request &,
+            const Interconnect::DeliverySample &) { ++first; });
+    const auto h2 = fab.addDeliveryObserver(
+        [&](const Interconnect::Request &,
+            const Interconnect::DeliverySample &) { ++second; });
+    EXPECT_NE(h1, h2);
+    EXPECT_EQ(fab.numDeliveryObservers(), 2u);
+
+    fab.transfer(request(0, 1, 1024));
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
+
+    fab.removeDeliveryObserver(h1);
+    EXPECT_EQ(fab.numDeliveryObservers(), 1u);
+    fab.transfer(request(0, 1, 1024));
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 2);
+
+    // Removing an unknown/stale handle is a harmless no-op.
+    fab.removeDeliveryObserver(h1);
+    fab.removeDeliveryObserver(12345u);
+    EXPECT_EQ(fab.numDeliveryObservers(), 1u);
+}
+
+TEST(Interconnect, DeprecatedShimOwnsOneSlotAlongsideList)
+{
+    EventQueue eq;
+    Interconnect fab(eq, nvlink2Fabric(), 2);
+    int list_calls = 0;
+    int shim_calls = 0;
+    fab.addDeliveryObserver(
+        [&](const Interconnect::Request &,
+            const Interconnect::DeliverySample &) { ++list_calls; });
+    fab.setDeliveryObserver(
+        [&](const Interconnect::Request &,
+            const Interconnect::DeliverySample &) { ++shim_calls; });
+    EXPECT_EQ(fab.numDeliveryObservers(), 2u);
+
+    fab.transfer(request(0, 1, 1024));
+    EXPECT_EQ(list_calls, 1);
+    EXPECT_EQ(shim_calls, 1);
+
+    // Re-setting the shim replaces only its own slot.
+    int replaced = 0;
+    fab.setDeliveryObserver(
+        [&](const Interconnect::Request &,
+            const Interconnect::DeliverySample &) { ++replaced; });
+    EXPECT_EQ(fab.numDeliveryObservers(), 2u);
+    fab.transfer(request(0, 1, 1024));
+    EXPECT_EQ(list_calls, 2);
+    EXPECT_EQ(shim_calls, 1);
+    EXPECT_EQ(replaced, 1);
+
+    // Clearing the shim leaves list observers intact.
+    fab.setDeliveryObserver(nullptr);
+    EXPECT_EQ(fab.numDeliveryObservers(), 1u);
+    fab.transfer(request(0, 1, 1024));
+    EXPECT_EQ(list_calls, 3);
+    EXPECT_EQ(replaced, 1);
+}
+
+TEST(Interconnect, ObserverMayRemoveItselfMidDispatch)
+{
+    EventQueue eq;
+    Interconnect fab(eq, nvlink2Fabric(), 2);
+    int one_shot = 0;
+    int steady = 0;
+    Interconnect::ObserverHandle self = 0;
+    self = fab.addDeliveryObserver(
+        [&](const Interconnect::Request &,
+            const Interconnect::DeliverySample &) {
+            ++one_shot;
+            fab.removeDeliveryObserver(self);
+        });
+    fab.addDeliveryObserver(
+        [&](const Interconnect::Request &,
+            const Interconnect::DeliverySample &) { ++steady; });
+
+    fab.transfer(request(0, 1, 1024));
+    fab.transfer(request(0, 1, 1024));
+    EXPECT_EQ(one_shot, 1);
+    EXPECT_EQ(steady, 2);
+    EXPECT_EQ(fab.numDeliveryObservers(), 1u);
+}
