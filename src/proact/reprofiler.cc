@@ -104,6 +104,10 @@ AdaptiveReprofiler::sweepOptions() const
     opts.retry.enabled = true;
     opts.health = true;
     opts.reroute = _system.rerouter() != nullptr;
+
+    // Narrowed sweeps ride the same PROACT_SIM_SHARDS worker pool as
+    // full sweeps; candidates are independent fresh systems.
+    opts.sweepFactory = _factory;
     return opts;
 }
 

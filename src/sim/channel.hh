@@ -14,11 +14,11 @@
 #define PROACT_SIM_CHANNEL_HH
 
 #include "sim/event_queue.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 namespace proact {
@@ -36,9 +36,12 @@ class Channel
     /** Identifies one live submission while rebooking is enabled. */
     using BookingId = std::uint64_t;
 
-    /** Notified after a booking's service end moved (rebooking). */
-    using RebookListener =
-        std::function<void(BookingId, Tick new_service_end)>;
+    /**
+     * Notified after a booking's service end moved (rebooking).
+     * Small-buffer storage, same as event callbacks: rebooking sits
+     * on the delivery hot path and must not allocate per booking.
+     */
+    using RebookListener = SmallFn<void(BookingId, Tick)>;
 
     /**
      * Per-submission timing breakdown. The gap between @c enqueued and

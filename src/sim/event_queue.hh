@@ -4,26 +4,50 @@
  *
  * Every timing-visible action in the system — CTA completion, chunk
  * transfer delivery, DMA completion, polling-agent wakeup, page-fault
- * service — is an event scheduled on a single global queue. Events at
- * equal ticks are ordered by priority, then by insertion sequence so
- * execution is fully deterministic.
+ * service — is an event scheduled on a queue. Events at equal ticks
+ * are ordered by priority, then by insertion sequence so execution is
+ * fully deterministic.
+ *
+ * The engine is built for throughput (the profiler sweeps hundreds of
+ * configurations per application, so simulation speed is a product
+ * feature):
+ *
+ *  - Entries live in a slab: a flat slot vector recycled through a
+ *    freelist, no per-event heap allocation and no shared_ptr control
+ *    blocks.
+ *  - The ready structure is a 4-ary heap of 32-byte plain-old-data
+ *    nodes keyed (tick, priority, seq) — shallower than a binary heap
+ *    and cache-friendly (a parent's four children share a line).
+ *  - EventIds carry a generation counter, so deschedule() is an O(1)
+ *    slot probe with no hash map; stale ids (fired, cancelled, or
+ *    recycled slots) are rejected by the generation check.
+ *  - Cancelled events leave a tombstone node in the heap that is
+ *    skipped lazily at pop; when tombstones outnumber live nodes the
+ *    heap is compacted in one O(n) filter + heapify pass.
+ *  - Callbacks use small-buffer storage (SmallFn) so capturing a few
+ *    pointers never allocates.
  */
 
 #ifndef PROACT_SIM_EVENT_QUEUE_HH
 #define PROACT_SIM_EVENT_QUEUE_HH
 
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 namespace proact {
 
-/** Opaque handle identifying a scheduled event (used to cancel it). */
+/**
+ * Opaque handle identifying a scheduled event (used to cancel it).
+ *
+ * Packs (generation << 32) | (slot + 1); value 0 is never issued, so
+ * callers can use 0 as "no event". A handle is invalidated the moment
+ * its event fires or is descheduled — the slot's generation bumps and
+ * any later use of the stale id is a harmless no-op.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -36,7 +60,7 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn<void()>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -78,6 +102,16 @@ class EventQueue
     /** Total events dispatched so far. */
     std::uint64_t dispatchedEvents() const { return _dispatched; }
 
+    /** Cancelled entries still occupying heap nodes (tombstones). */
+    std::uint64_t tombstones() const { return _tombstones; }
+
+    /**
+     * Earliest live event's tick without dispatching it, or maxTick
+     * when no live events remain. Pops tombstones off the heap top as
+     * a side effect (hence non-const).
+     */
+    Tick nextEventTick();
+
     /**
      * Dispatch the single next event.
      * @return true if an event ran, false if the queue was empty.
@@ -89,44 +123,109 @@ class EventQueue
 
     /**
      * Run until the clock would pass @p limit; events at exactly
-     * @p limit still execute.
+     * @p limit still execute. The clock always ends at >= @p limit,
+     * even when the queue drains early.
      */
     void runUntil(Tick limit);
 
+    /**
+     * Dispatch every event strictly before @p end, leaving the clock
+     * at the last dispatched event (not advanced to @p end). This is
+     * the sharded engine's window primitive: events at >= @p end
+     * belong to the next lookahead window.
+     * @return Number of events dispatched.
+     */
+    std::uint64_t runUntilBefore(Tick end);
+
   private:
-    struct Entry
+    static constexpr std::uint32_t NoIndex = ~std::uint32_t(0);
+
+    /** Slab slot holding one pending event's callback. */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;      ///< Bumped when the slot is freed.
+        std::uint32_t nextFree = NoIndex; ///< Freelist link when free.
+        bool pending = false;
+    };
+
+    /** Heap node: ordering key + validating id, no indirection. */
+    struct HeapNode
     {
         Tick when;
-        int priority;
         std::uint64_t seq;
         EventId id;
-        Callback cb;
-        bool cancelled = false;
+        std::int32_t priority;
     };
 
-    struct EntryCompare
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
     {
-        bool
-        operator()(const std::shared_ptr<Entry> &a,
-                   const std::shared_ptr<Entry> &b) const
-        {
-            if (a->when != b->when)
-                return a->when > b->when;
-            if (a->priority != b->priority)
-                return a->priority > b->priority;
-            return a->seq > b->seq;
-        }
-    };
+        return (static_cast<EventId>(gen) << 32)
+            | static_cast<EventId>(slot + 1);
+    }
 
-    std::priority_queue<std::shared_ptr<Entry>,
-                        std::vector<std::shared_ptr<Entry>>,
-                        EntryCompare> _queue;
-    std::unordered_map<EventId, std::shared_ptr<Entry>> _pendingIndex;
+    static std::uint32_t slotOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffffffffu) - 1;
+    }
+
+    static std::uint32_t genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+
+    bool
+    isLive(EventId id) const
+    {
+        const std::uint32_t slot = slotOf(id);
+        return slot < _slots.size() && _slots[slot].pending
+            && _slots[slot].gen == genOf(id);
+    }
+
+    /** Strict (tick, priority, seq) ordering. */
+    static bool
+    before(const HeapNode &a, const HeapNode &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
+
+    void heapPush(HeapNode node);
+    void heapPop();
+    void heapify();
+
+    /** Drop stale nodes off the heap top; heap top is live after. */
+    void skimTombstones();
+
+    /** Filter every tombstone out and re-heapify (O(n)). */
+    void compact();
+
+    /**
+     * Tombstone bookkeeping can't silently drift: every heap node is
+     * either live or an accounted tombstone. Checked (debug builds)
+     * on every mutation; compact() additionally recounts the heap.
+     */
+    void
+    assertBookkeeping() const
+    {
+        assert(_liveEvents + _tombstones == _heap.size());
+    }
+
+    std::vector<Slot> _slots;
+    std::uint32_t _freeHead = NoIndex;
+    std::vector<HeapNode> _heap;
 
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
-    std::uint64_t _nextId = 1;
     std::uint64_t _liveEvents = 0;
+    std::uint64_t _tombstones = 0;
     std::uint64_t _dispatched = 0;
 };
 

@@ -1,0 +1,272 @@
+#include "sim/sharded_engine.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace proact {
+
+int
+envSimShards()
+{
+    const char *env = std::getenv("PROACT_SIM_SHARDS");
+    if (!env || !*env)
+        return 0;
+    const long v = std::strtol(env, nullptr, 10);
+    if (v <= 1)
+        return 0;
+    return static_cast<int>(std::min<long>(v, 64));
+}
+
+ShardedEventEngine::ShardedEventEngine(Options options)
+    : _opts(options)
+{
+    if (options.numShards < 1)
+        throw std::invalid_argument(
+            "ShardedEventEngine: need at least one shard");
+
+    _shards.reserve(static_cast<std::size_t>(options.numShards));
+    for (int s = 0; s < options.numShards; ++s)
+        _shards.push_back(std::make_unique<Shard>());
+
+    int workers = options.workers;
+    if (workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = static_cast<int>(hw == 0 ? 1 : hw);
+    }
+    _workers = std::min(workers, options.numShards);
+
+    // The pool excludes the main thread, which always participates in
+    // window execution; _workers == 1 therefore spawns no threads and
+    // is the bit-identical sequential reference.
+    for (int i = 1; i < _workers; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+ShardedEventEngine::~ShardedEventEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _cvWork.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+StatSet
+ShardedEventEngine::mergedStats() const
+{
+    StatSet merged;
+    for (const auto &shard : _shards)
+        merged.merge(shard->stats);
+    return merged;
+}
+
+std::uint64_t
+ShardedEventEngine::dispatchedEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : _shards)
+        total += shard->queue.dispatchedEvents();
+    return total;
+}
+
+Tick
+ShardedEventEngine::maxShardTick() const
+{
+    Tick latest = 0;
+    for (const auto &shard : _shards)
+        latest = std::max(latest, shard->queue.curTick());
+    return latest;
+}
+
+void
+ShardedEventEngine::post(int from, int to, Tick when,
+                         EventQueue::Callback cb, int priority)
+{
+    if (from < 0 || from >= numShards() || to < 0 || to >= numShards())
+        throw std::out_of_range("ShardedEventEngine: bad shard index");
+
+    if (_inWindow) {
+        const Tick end = _windowEnd.load(std::memory_order_relaxed);
+        if (when < end) {
+            // The model broke the conservative contract: a cross-shard
+            // effect inside the executing window could race a shard
+            // that already passed @p when. Lower the lookahead (or fix
+            // the model's minimum cross-shard delay).
+            throw std::logic_error(
+                "ShardedEventEngine: cross-shard post inside the "
+                "lookahead window (when < windowEnd)");
+        }
+    }
+
+    Shard &src = *_shards[from];
+    src.outbox.push_back(Mail{when, static_cast<std::int32_t>(priority),
+                              static_cast<std::int32_t>(from),
+                              static_cast<std::int32_t>(to),
+                              src.postSeq++, std::move(cb)});
+}
+
+void
+ShardedEventEngine::deliverMail()
+{
+    // Gather, then order by (when, priority, from, fromSeq): a total
+    // order independent of which worker ran which shard, so target
+    // queues assign local sequence numbers identically no matter the
+    // interleaving.
+    std::vector<Mail> mail;
+    for (const auto &shard : _shards) {
+        for (Mail &m : shard->outbox)
+            mail.push_back(std::move(m));
+        shard->outbox.clear();
+    }
+    if (mail.empty())
+        return;
+
+    std::sort(mail.begin(), mail.end(),
+              [](const Mail &a, const Mail &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.priority != b.priority)
+                      return a.priority < b.priority;
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.fromSeq < b.fromSeq;
+              });
+
+    for (Mail &m : mail) {
+        _shards[m.to]->queue.schedule(m.when, std::move(m.cb),
+                                      m.priority);
+        ++_posted;
+    }
+}
+
+void
+ShardedEventEngine::processWork(Tick end)
+{
+    for (;;) {
+        const std::size_t i =
+            _nextWork.fetch_add(1, std::memory_order_relaxed);
+        if (i >= _workList.size())
+            break;
+        try {
+            _shards[_workList[i]]->queue.runUntilBefore(end);
+        } catch (...) {
+            // The first exception resurfaces from run() after the
+            // window; meanwhile keep draining claims so the window
+            // still reaches its barrier.
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (!_failure)
+                _failure = std::current_exception();
+        }
+    }
+}
+
+void
+ShardedEventEngine::checkOut()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (--_remaining == 0)
+        _cvDone.notify_all();
+}
+
+void
+ShardedEventEngine::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Tick end;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _cvWork.wait(lock, [&] {
+                return _shutdown || _epoch != seen;
+            });
+            if (_shutdown)
+                return;
+            seen = _epoch;
+            end = _workEnd;
+        }
+        processWork(end);
+        checkOut();
+    }
+}
+
+void
+ShardedEventEngine::executeWindow(Tick end)
+{
+    // Single worker: run the active shards in index order on this
+    // thread. This is the sequential reference the determinism
+    // battery compares the pool against.
+    if (_workers <= 1 || _workList.size() <= 1) {
+        for (const int s : _workList)
+            _shards[s]->queue.runUntilBefore(end);
+        return;
+    }
+
+    // The barrier counts *participants*, not claimed work items:
+    // every pool thread (plus this one) checks out once per window,
+    // so no thread can still be inside processWork — reading
+    // _workList or claiming from a reset _nextWork — when run()
+    // moves on to mutate the window state.
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _nextWork.store(0, std::memory_order_relaxed);
+        _remaining = static_cast<std::size_t>(_workers);
+        _workEnd = end;
+        ++_epoch;
+    }
+    _cvWork.notify_all();
+
+    processWork(end); // Main thread pulls work alongside the pool.
+    checkOut();
+
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _cvDone.wait(lock, [&] { return _remaining == 0; });
+    }
+    if (_failure) {
+        // A window died mid-flight: shard state is no longer
+        // consistent, so surface the failure instead of continuing.
+        std::exception_ptr failure = _failure;
+        _failure = nullptr;
+        std::rethrow_exception(failure);
+    }
+}
+
+void
+ShardedEventEngine::run()
+{
+    for (;;) {
+        // Posts made outside any window (model setup, previous
+        // barriers) land before the next window is chosen.
+        deliverMail();
+
+        Tick start = maxTick;
+        _workList.clear();
+        for (int s = 0; s < numShards(); ++s)
+            start = std::min(start, _shards[s]->queue.nextEventTick());
+        if (start == maxTick)
+            break; // Every shard drained, no mail outstanding.
+
+        Tick end;
+        if (_opts.lookahead == 0 || start >= maxTick - _opts.lookahead)
+            end = start + 1;
+        else
+            end = start + _opts.lookahead;
+
+        for (int s = 0; s < numShards(); ++s) {
+            if (_shards[s]->queue.nextEventTick() < end)
+                _workList.push_back(s);
+        }
+
+        _windowEnd.store(end, std::memory_order_relaxed);
+        _inWindow = true;
+        executeWindow(end);
+        _inWindow = false;
+        _windowEnd.store(0, std::memory_order_relaxed);
+        ++_windows;
+    }
+}
+
+} // namespace proact

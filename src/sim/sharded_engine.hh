@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Conservative parallel discrete-event engine (PDES).
+ *
+ * The serial EventQueue caps simulation throughput on large
+ * topologies: every CTA completion and chunk delivery on a 256-GPU
+ * hierarchical fabric funnels through one heap. ShardedEventEngine
+ * shards the event space — one serial EventQueue core per GPU (or per
+ * chassis plane) — and executes shards concurrently on a worker pool
+ * under a conservative lookahead window:
+ *
+ *   window = [start, start + lookahead)
+ *
+ * where @c start is the globally earliest pending event and
+ * @c lookahead is the minimum cross-shard latency of the model
+ * (typically the minimum link latency). Within a window each shard
+ * dispatches its own events in (tick, priority, seq) order; an event
+ * that targets *another* shard is not scheduled directly but posted
+ * to the source shard's outbox, and all outboxes are merged at the
+ * window barrier in a deterministic order:
+ *
+ *   (when, priority, source shard, source post-sequence)
+ *
+ * Because cross-shard effects always land at or after the window end
+ * (the conservative contract, enforced at post() time), the execution
+ * and the merge are independent of worker interleaving: running with
+ * 1 worker or N workers produces bit-identical event orders, shard
+ * clocks and statistics. That property is the determinism gate the
+ * `ctest -L pdes` battery checks.
+ *
+ * Hot shared structures are per-shard by construction — each shard
+ * owns its EventQueue, its StatSet (merged on read), and whatever
+ * model state (channels, flying-request maps) the model binds to it —
+ * so the parallel path takes no locks outside the window barrier.
+ *
+ * The model contract:
+ *  - Shard-local state is touched only by callbacks running on that
+ *    shard's queue.
+ *  - Cross-shard interaction goes through post() with a delay of at
+ *    least the engine lookahead.
+ */
+
+#ifndef PROACT_SIM_SHARDED_ENGINE_HH
+#define PROACT_SIM_SHARDED_ENGINE_HH
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace proact {
+
+/**
+ * Worker count requested by PROACT_SIM_SHARDS (0/unset/1 =
+ * sequential, clamped to [0, 64]). The knob gates every parallel path
+ * in the tree — sharded event execution here, parallel profiler
+ * sweeps above — and defaults to off so plain runs stay serial.
+ */
+int envSimShards();
+
+/** Sharded conservative-lookahead event engine. */
+class ShardedEventEngine
+{
+  public:
+    struct Options
+    {
+        /** Shard count (>= 1); one serial event core per shard. */
+        int numShards = 1;
+
+        /**
+         * Conservative window width; must not exceed the model's
+         * minimum cross-shard delay. 0 degenerates to one tick per
+         * window (always correct, maximum barrier overhead).
+         */
+        Tick lookahead = ticksPerMicrosecond;
+
+        /**
+         * Worker threads executing shards within a window. 0 = use
+         * min(numShards, hardware_concurrency); 1 = sequential (the
+         * determinism reference).
+         */
+        int workers = 1;
+    };
+
+    explicit ShardedEventEngine(Options options);
+    ShardedEventEngine(const ShardedEventEngine &) = delete;
+    ShardedEventEngine &operator=(const ShardedEventEngine &) = delete;
+    ~ShardedEventEngine();
+
+    int numShards() const { return static_cast<int>(_shards.size()); }
+    Tick lookahead() const { return _opts.lookahead; }
+    int workers() const { return _workers; }
+
+    /** Serial event core of shard @p s; schedule shard-local events
+     * directly on it (model setup and intra-shard traffic). */
+    EventQueue &shard(int s) { return _shards[s]->queue; }
+
+    /** Contention-free per-shard statistics. */
+    StatSet &stats(int s) { return _shards[s]->stats; }
+
+    /** Merge-on-read view over every shard's StatSet. */
+    StatSet mergedStats() const;
+
+    /**
+     * Schedule @p cb on shard @p to at absolute tick @p when from
+     * shard @p from. Inside a running window @p when must be >= the
+     * window end (the conservative contract) or a PanicError-style
+     * logic_error is thrown; at the barrier all posts are merged
+     * deterministically by (when, priority, from, fromSeq).
+     */
+    void post(int from, int to, Tick when, EventQueue::Callback cb,
+              int priority = 0);
+
+    /** Run windows until every shard drains and no mail remains. */
+    void run();
+
+    /** End (exclusive) of the window currently executing; 0 when no
+     * window is in flight. */
+    Tick windowEnd() const
+    {
+        return _windowEnd.load(std::memory_order_relaxed);
+    }
+
+    /** Total events dispatched across all shards. */
+    std::uint64_t dispatchedEvents() const;
+
+    /** Cross-shard messages delivered at barriers so far. */
+    std::uint64_t postedEvents() const { return _posted; }
+
+    /** Lookahead windows executed so far. */
+    std::uint64_t windows() const { return _windows; }
+
+    /** Latest shard clock (the engine's notion of "now" between
+     * windows; individual shard clocks may trail it). */
+    Tick maxShardTick() const;
+
+  private:
+    /** One cross-shard message awaiting its window barrier. */
+    struct Mail
+    {
+        Tick when;
+        std::int32_t priority;
+        std::int32_t from;
+        std::int32_t to;
+        std::uint64_t fromSeq;
+        EventQueue::Callback cb;
+    };
+
+    /**
+     * Cache-line-aligned shard: serial core + stats + outbox, all
+     * owned exclusively by the worker running the shard's window.
+     */
+    struct alignas(64) Shard
+    {
+        EventQueue queue;
+        StatSet stats;
+        std::vector<Mail> outbox;
+        std::uint64_t postSeq = 0;
+    };
+
+    void deliverMail();
+    void executeWindow(Tick end);
+    void processWork(Tick end);
+    void checkOut();
+    void workerLoop();
+
+    Options _opts;
+    int _workers = 1;
+    std::vector<std::unique_ptr<Shard>> _shards;
+
+    std::atomic<Tick> _windowEnd{0};
+    bool _inWindow = false;
+    std::uint64_t _windows = 0;
+    std::uint64_t _posted = 0;
+
+    /** @{ @name Worker-pool handshake */
+    std::vector<std::thread> _threads;
+    std::mutex _mutex;
+    std::condition_variable _cvWork;
+    std::condition_variable _cvDone;
+    std::uint64_t _epoch = 0;       ///< Bumped per published window.
+    bool _shutdown = false;
+    std::vector<int> _workList;     ///< Shards active this window.
+    std::atomic<std::size_t> _nextWork{0};
+    std::size_t _remaining = 0;     ///< Participants not checked out.
+    Tick _workEnd = 0;              ///< Window end for the pool.
+    std::exception_ptr _failure;    ///< First window failure, if any.
+    /** @} */
+};
+
+} // namespace proact
+
+#endif // PROACT_SIM_SHARDED_ENGINE_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Small-buffer callable storage for hot-path callbacks.
+ *
+ * The event engine schedules millions of callbacks per simulated
+ * second; std::function's type erasure heap-allocates once a capture
+ * outgrows its (implementation-defined, typically 16-byte) inline
+ * buffer, and the shared_ptr-heavy capture lists used throughout the
+ * simulator blow past that routinely. SmallFn is a drop-in
+ * replacement with a 48-byte inline buffer — enough for every capture
+ * list on the transfer hot path — and a heap fallback for the rare
+ * oversized closure, so scheduling an event or booking a channel
+ * allocates nothing in the common case.
+ *
+ * Copyable (the retry and rebooking layers stash a callback and
+ * re-schedule copies of it), movable, nullptr-comparable: the subset
+ * of std::function the codebase actually uses.
+ */
+
+#ifndef PROACT_SIM_SMALL_FN_HH
+#define PROACT_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace proact {
+
+template <typename Signature>
+class SmallFn;
+
+template <typename R, typename... Args>
+class SmallFn<R(Args...)>
+{
+  public:
+    /** Inline capture budget; larger callables fall back to the heap. */
+    static constexpr std::size_t InlineBytes = 48;
+
+    SmallFn() noexcept = default;
+    SmallFn(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFn(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(_buffer)) Fn(std::forward<F>(fn));
+            _ops = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(_buffer))
+                Fn *(new Fn(std::forward<F>(fn)));
+            _ops = &heapOps<Fn>;
+        }
+    }
+
+    SmallFn(const SmallFn &other) { copyFrom(other); }
+
+    SmallFn(SmallFn &&other) noexcept { moveFrom(std::move(other)); }
+
+    SmallFn &
+    operator=(const SmallFn &other)
+    {
+        if (this != &other) {
+            reset();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFn &
+    operator=(SmallFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    SmallFn &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFn &
+    operator=(F &&fn)
+    {
+        SmallFn tmp(std::forward<F>(fn));
+        reset();
+        moveFrom(std::move(tmp));
+        return *this;
+    }
+
+    ~SmallFn() { reset(); }
+
+    explicit operator bool() const noexcept { return _ops != nullptr; }
+
+    friend bool
+    operator==(const SmallFn &f, std::nullptr_t) noexcept
+    {
+        return !f;
+    }
+    friend bool
+    operator==(std::nullptr_t, const SmallFn &f) noexcept
+    {
+        return !f;
+    }
+    friend bool
+    operator!=(const SmallFn &f, std::nullptr_t) noexcept
+    {
+        return static_cast<bool>(f);
+    }
+    friend bool
+    operator!=(std::nullptr_t, const SmallFn &f) noexcept
+    {
+        return static_cast<bool>(f);
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return _ops->call(_buffer, std::forward<Args>(args)...);
+    }
+
+  private:
+    /** Type-erased operations; one static instance per callable type. */
+    struct Ops
+    {
+        R (*call)(const void *buf, Args &&...args);
+        void (*copy)(void *dst, const void *src);
+        void (*move)(void *dst, void *src) noexcept;
+        void (*destroy)(void *buf) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= InlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        // call
+        [](const void *buf, Args &&...args) -> R {
+            // Callables are stored non-const; operator() may mutate
+            // captures (mutable lambdas, counters).
+            auto *fn = static_cast<Fn *>(const_cast<void *>(buf));
+            return (*fn)(std::forward<Args>(args)...);
+        },
+        // copy
+        [](void *dst, const void *src) {
+            ::new (dst) Fn(*static_cast<const Fn *>(src));
+        },
+        // move
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        // destroy
+        [](void *buf) noexcept { static_cast<Fn *>(buf)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        // call
+        [](const void *buf, Args &&...args) -> R {
+            auto *fn = *static_cast<Fn *const *>(buf);
+            return (*fn)(std::forward<Args>(args)...);
+        },
+        // copy
+        [](void *dst, const void *src) {
+            ::new (dst) Fn *(new Fn(**static_cast<Fn *const *>(src)));
+        },
+        // move: pointer steal — the source slot is left destroyed.
+        [](void *dst, void *src) noexcept {
+            auto **slot = static_cast<Fn **>(src);
+            ::new (dst) Fn *(*slot);
+            *slot = nullptr;
+        },
+        // destroy
+        [](void *buf) noexcept { delete *static_cast<Fn **>(buf); },
+    };
+
+    void
+    reset() noexcept
+    {
+        if (_ops) {
+            _ops->destroy(_buffer);
+            _ops = nullptr;
+        }
+    }
+
+    void
+    copyFrom(const SmallFn &other)
+    {
+        if (other._ops) {
+            other._ops->copy(_buffer, other._buffer);
+            _ops = other._ops;
+        }
+    }
+
+    void
+    moveFrom(SmallFn &&other) noexcept
+    {
+        if (other._ops) {
+            other._ops->move(_buffer, other._buffer);
+            _ops = other._ops;
+            other._ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) mutable char _buffer[InlineBytes];
+    const Ops *_ops = nullptr;
+};
+
+} // namespace proact
+
+#endif // PROACT_SIM_SMALL_FN_HH

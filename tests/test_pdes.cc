@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Parallel sharded event engine battery (`ctest -L pdes`).
+ *
+ * The load-bearing property is the determinism gate: a sharded run
+ * with N workers must be bit-identical to the 1-worker sequential
+ * reference — same per-shard dispatch orders, clocks, counters and
+ * merged statistics. The battery checks that on synthetic shard
+ * models (seeded random traffic, ring token passing) and on the
+ * product path gated by PROACT_SIM_SHARDS (parallel profiler sweeps
+ * and Session paradigm comparisons).
+ */
+
+#include "sim/sharded_engine.hh"
+
+#include "harness/session.hh"
+#include "proact/profiler.hh"
+#include "system/platform.hh"
+#include "tests/small_workloads.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace proact;
+
+namespace {
+
+std::string
+statsDigest(const ShardedEventEngine &engine)
+{
+    std::ostringstream os;
+    engine.mergedStats().dump(os);
+    return os.str();
+}
+
+/**
+ * Seeded random traffic over N shards. Every event logs into its
+ * shard's order log, bumps that shard's StatSet, and spawns at most
+ * one successor — locally with a pseudo-random delay, or on a
+ * pseudo-random peer via post() at >= lookahead distance. All state
+ * is shard-local, so any worker interleaving that respects the
+ * engine contract must reproduce the exact same logs.
+ */
+struct RandomTrafficModel
+{
+    static constexpr Tick Lookahead = 500;
+
+    RandomTrafficModel(int shards, int workers, std::uint64_t seed)
+        : engine(ShardedEventEngine::Options{shards, Lookahead,
+                                             workers}),
+          rng(static_cast<std::size_t>(shards)),
+          log(static_cast<std::size_t>(shards))
+    {
+        for (int s = 0; s < shards; ++s) {
+            rng[static_cast<std::size_t>(s)] =
+                seed * 2654435761ull + static_cast<std::uint64_t>(s)
+                + 1;
+            const int hops = 300 + s * 7;
+            const Tick when = static_cast<Tick>((s * 17) % 97 + 1);
+            engine.shard(s).schedule(when, [this, s, hops] {
+                step(s, hops);
+            });
+        }
+    }
+
+    std::uint64_t next(int s)
+    {
+        std::uint64_t x = rng[static_cast<std::size_t>(s)];
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return rng[static_cast<std::size_t>(s)] = x;
+    }
+
+    void step(int s, int hops)
+    {
+        EventQueue &q = engine.shard(s);
+        log[static_cast<std::size_t>(s)].push_back(
+            (q.curTick() << 10) ^ static_cast<std::uint64_t>(hops));
+        engine.stats(s).inc("model.steps");
+        if (hops == 0)
+            return;
+
+        const std::uint64_t r = next(s);
+        const int n = engine.numShards();
+        if (n == 1 || r % 4 != 0) {
+            q.schedule(q.curTick() + 1 + r % 100,
+                       [this, s, hops] { step(s, hops - 1); });
+        } else {
+            const int peer = static_cast<int>(
+                (static_cast<std::uint64_t>(s) + 1 + (r >> 8)
+                 % static_cast<std::uint64_t>(n - 1))
+                % static_cast<std::uint64_t>(n));
+            const Tick when =
+                q.curTick() + engine.lookahead() + (r >> 16) % 200;
+            engine.stats(s).inc("model.posts");
+            engine.post(s, peer, when,
+                        [this, peer, hops] { step(peer, hops - 1); },
+                        static_cast<int>((r >> 32) % 3));
+        }
+    }
+
+    ShardedEventEngine engine;
+    std::vector<std::uint64_t> rng;
+    std::vector<std::vector<std::uint64_t>> log;
+};
+
+struct ModelResult
+{
+    std::vector<std::vector<std::uint64_t>> log;
+    std::vector<Tick> shardTicks;
+    std::uint64_t dispatched;
+    std::uint64_t posted;
+    std::uint64_t windows;
+    std::string digest;
+};
+
+ModelResult
+runRandomModel(int shards, int workers, std::uint64_t seed)
+{
+    RandomTrafficModel model(shards, workers, seed);
+    model.engine.run();
+    ModelResult r;
+    r.log = model.log;
+    for (int s = 0; s < shards; ++s)
+        r.shardTicks.push_back(model.engine.shard(s).curTick());
+    r.dispatched = model.engine.dispatchedEvents();
+    r.posted = model.engine.postedEvents();
+    r.windows = model.engine.windows();
+    r.digest = statsDigest(model.engine);
+    return r;
+}
+
+} // namespace
+
+TEST(ShardedEngine, EnvKnobParsesAndClamps)
+{
+    unsetenv("PROACT_SIM_SHARDS");
+    EXPECT_EQ(envSimShards(), 0);
+    setenv("PROACT_SIM_SHARDS", "1", 1);
+    EXPECT_EQ(envSimShards(), 0); // 1 shard == sequential == off.
+    setenv("PROACT_SIM_SHARDS", "4", 1);
+    EXPECT_EQ(envSimShards(), 4);
+    setenv("PROACT_SIM_SHARDS", "999", 1);
+    EXPECT_EQ(envSimShards(), 64);
+    setenv("PROACT_SIM_SHARDS", "-3", 1);
+    EXPECT_EQ(envSimShards(), 0);
+    unsetenv("PROACT_SIM_SHARDS");
+}
+
+TEST(ShardedEngine, SingleShardMatchesPlainEventQueue)
+{
+    ShardedEventEngine engine(
+        ShardedEventEngine::Options{1, 100, 1});
+    std::vector<int> order;
+    engine.shard(0).schedule(30, [&] { order.push_back(3); });
+    engine.shard(0).schedule(10, [&] { order.push_back(1); });
+    engine.shard(0).schedule(20, [&] { order.push_back(2); });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(engine.dispatchedEvents(), 3u);
+    EXPECT_EQ(engine.shard(0).curTick(), 30u);
+}
+
+TEST(ShardedEngine, CrossShardMailDeliveredInDeterministicOrder)
+{
+    ShardedEventEngine engine(
+        ShardedEventEngine::Options{3, 100, 1});
+    std::vector<int> seen;
+    // Setup-time posts from different sources at one target tick:
+    // merge order is (when, priority, from, fromSeq), not post order.
+    engine.post(2, 0, 50, [&] { seen.push_back(20); });
+    engine.post(1, 0, 50, [&] { seen.push_back(10); });
+    engine.post(1, 0, 50, [&] { seen.push_back(11); });
+    engine.post(2, 0, 40, [&] { seen.push_back(9); });
+    engine.post(1, 0, 50, [&] { seen.push_back(5); }, /*priority=*/-1);
+    engine.run();
+    EXPECT_EQ(seen, (std::vector<int>{9, 5, 10, 11, 20}));
+    EXPECT_EQ(engine.postedEvents(), 5u);
+}
+
+TEST(ShardedEngine, PostInsideWindowBelowLookaheadThrows)
+{
+    ShardedEventEngine engine(
+        ShardedEventEngine::Options{2, 1000, 1});
+    engine.shard(0).schedule(10, [&] {
+        // windowEnd is 10 + 1000; a cross-shard effect at tick 11
+        // breaks the conservative contract and must be rejected.
+        engine.post(0, 1, engine.shard(0).curTick() + 1, [] {});
+    });
+    EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(ShardedEngine, PostAtWindowEndIsAccepted)
+{
+    ShardedEventEngine engine(
+        ShardedEventEngine::Options{2, 1000, 1});
+    bool delivered = false;
+    engine.shard(0).schedule(10, [&] {
+        engine.post(0, 1, engine.windowEnd(),
+                    [&] { delivered = true; });
+    });
+    engine.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(engine.shard(1).curTick(), 1010u);
+}
+
+TEST(ShardedEngine, WorkerExceptionSurfacesFromRun)
+{
+    ShardedEventEngine engine(
+        ShardedEventEngine::Options{4, 100, 4});
+    for (int s = 0; s < 4; ++s)
+        engine.shard(s).schedule(10 + s, [] {});
+    engine.shard(2).schedule(20, [] {
+        throw std::runtime_error("model failure");
+    });
+    EXPECT_THROW(engine.run(), std::runtime_error);
+    // The pool must still shut down cleanly (checked by destruction).
+}
+
+TEST(ShardedEngine, MergedStatsAggregatesAcrossShards)
+{
+    ShardedEventEngine engine(
+        ShardedEventEngine::Options{3, 100, 1});
+    engine.stats(0).inc("x", 1.0);
+    engine.stats(1).inc("x", 2.0);
+    engine.stats(2).inc("y", 5.0);
+    const StatSet merged = engine.mergedStats();
+    EXPECT_DOUBLE_EQ(merged.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(merged.get("y"), 5.0);
+}
+
+TEST(ShardedEngine, RandomTrafficParallelMatchesSequential)
+{
+    // The determinism gate on a seeded random model: 4 workers must
+    // reproduce the 1-worker reference bit for bit, across seeds.
+    for (const std::uint64_t seed : {1ull, 42ull, 20210614ull}) {
+        const ModelResult serial = runRandomModel(4, 1, seed);
+        const ModelResult parallel = runRandomModel(4, 4, seed);
+        EXPECT_EQ(serial.log, parallel.log) << "seed=" << seed;
+        EXPECT_EQ(serial.shardTicks, parallel.shardTicks);
+        EXPECT_EQ(serial.dispatched, parallel.dispatched);
+        EXPECT_EQ(serial.posted, parallel.posted);
+        EXPECT_EQ(serial.windows, parallel.windows);
+        EXPECT_EQ(serial.digest, parallel.digest);
+        EXPECT_GT(serial.posted, 0u) << "model never crossed shards";
+    }
+}
+
+TEST(ShardedEngine, RandomTrafficRepeatedParallelRunsAgree)
+{
+    const ModelResult a = runRandomModel(6, 3, 7);
+    const ModelResult b = runRandomModel(6, 3, 7);
+    EXPECT_EQ(a.log, b.log);
+    EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(ShardedEngine, RingTokenPassingDeterministicAcrossWorkers)
+{
+    // A token circles the ring R times; each hop is a cross-shard
+    // post at exactly the lookahead. Total hops and the final clock
+    // are worker-count independent.
+    const auto run_ring = [](int workers) {
+        constexpr int Shards = 8;
+        constexpr Tick Lookahead = 250;
+        ShardedEventEngine engine(ShardedEventEngine::Options{
+            Shards, Lookahead, workers});
+        std::uint64_t hops = 0;
+        std::function<void(int, int)> hop = [&](int s,
+                                                int remaining) {
+            ++hops;
+            engine.stats(s).inc("ring.hops");
+            if (remaining == 0)
+                return;
+            const int peer = (s + 1) % Shards;
+            engine.post(s, peer,
+                        engine.shard(s).curTick() + Lookahead,
+                        [&hop, peer, remaining] {
+                            hop(peer, remaining - 1);
+                        });
+        };
+        engine.shard(0).schedule(1, [&] { hop(0, Shards * 5); });
+        engine.run();
+        std::ostringstream os;
+        engine.mergedStats().dump(os);
+        return std::make_tuple(hops, engine.maxShardTick(),
+                               engine.windows(), os.str());
+    };
+    EXPECT_EQ(run_ring(1), run_ring(4));
+}
+
+TEST(PdesProfiler, ParallelSweepBitIdenticalToSerial)
+{
+    const SweepWorkloadFactory factory = [](int gpus) {
+        auto workload = test::makeSmallWorkload("Jacobi");
+        workload->setup(gpus);
+        return workload;
+    };
+
+    Profiler::Options quick;
+    quick.chunkSizes = {64 * KiB, 128 * KiB};
+    quick.threadCounts = {1024, 2048};
+    quick.profileIterations = 1;
+
+    Profiler::Options serial = quick;
+    serial.shards = 1;
+    Profiler::Options parallel = quick;
+    parallel.shards = 4;
+    parallel.sweepFactory = factory;
+
+    const PlatformSpec platform = voltaPlatform();
+    auto workload_a = factory(platform.numGpus);
+    const ProfileResult a =
+        Profiler(platform, serial).profile(*workload_a);
+    auto workload_b = factory(platform.numGpus);
+    const ProfileResult b =
+        Profiler(platform, parallel).profile(*workload_b);
+
+    EXPECT_EQ(a.bestTicks, b.bestTicks);
+    EXPECT_EQ(a.inlineTicks, b.inlineTicks);
+    EXPECT_EQ(a.best.mechanism, b.best.mechanism);
+    EXPECT_EQ(a.best.chunkBytes, b.best.chunkBytes);
+    EXPECT_EQ(a.best.transferThreads, b.best.transferThreads);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i].ticks, b.entries[i].ticks) << i;
+        EXPECT_EQ(a.entries[i].config.chunkBytes,
+                  b.entries[i].config.chunkBytes) << i;
+        EXPECT_EQ(a.entries[i].config.transferThreads,
+                  b.entries[i].config.transferThreads) << i;
+        EXPECT_EQ(a.entries[i].config.mechanism,
+                  b.entries[i].config.mechanism) << i;
+    }
+}
+
+TEST(PdesSession, CompareParadigmsBitIdenticalUnderEnvShards)
+{
+    // The Session-level gate from the issue: PROACT_SIM_SHARDS > 1
+    // must leave every summary number untouched under a fixed seed
+    // (the simulator is deterministic; the knob only adds workers).
+    const WorkloadFactory factory = [](int gpus) {
+        auto workload = test::makeSmallWorkload("Jacobi");
+        workload->setup(gpus);
+        return workload;
+    };
+
+    Profiler::Options quick;
+    quick.chunkSizes = {64 * KiB, 128 * KiB};
+    quick.threadCounts = {2048};
+    quick.profileIterations = 1;
+
+    Session session(voltaPlatform());
+    unsetenv("PROACT_SIM_SHARDS");
+    const auto serial =
+        session.compareParadigms(factory, /*functional=*/false, quick);
+    setenv("PROACT_SIM_SHARDS", "4", 1);
+    const auto sharded =
+        session.compareParadigms(factory, /*functional=*/false, quick);
+    unsetenv("PROACT_SIM_SHARDS");
+
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].paradigm, sharded[i].paradigm);
+        EXPECT_EQ(serial[i].ticks, sharded[i].ticks)
+            << paradigmName(serial[i].paradigm);
+        EXPECT_DOUBLE_EQ(serial[i].speedup, sharded[i].speedup);
+        EXPECT_EQ(serial[i].wireBytes, sharded[i].wireBytes);
+        EXPECT_EQ(serial[i].payloadBytes, sharded[i].payloadBytes);
+        EXPECT_EQ(serial[i].storeTransactions,
+                  sharded[i].storeTransactions);
+    }
+}
