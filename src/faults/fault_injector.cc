@@ -33,6 +33,18 @@ FaultInjector::addDmaEngine(int gpu_id, DmaEngine &dma)
     _dmas.emplace_back(gpu_id, &dma);
 }
 
+void
+FaultInjector::addDeviceDownListener(DeviceDownListener listener)
+{
+    _deviceDownListeners.push_back(std::move(listener));
+}
+
+void
+FaultInjector::addDeviceUpListener(DeviceUpListener listener)
+{
+    _deviceUpListeners.push_back(std::move(listener));
+}
+
 template <typename Fn>
 void
 FaultInjector::forEachTargetChannel(const FaultEpisode &ep, Fn &&fn)
@@ -112,6 +124,11 @@ FaultInjector::arm()
             _eq.schedule(ep.end, [this] { applyRateScales(); },
                          faultEventPriority);
         }
+        if (ep.kind == FaultKind::GpuDown && ep.end != maxTick) {
+            _eq.schedule(ep.end,
+                         [this, gpu = ep.gpu] { endGpuDown(gpu); },
+                         faultEventPriority);
+        }
     }
 }
 
@@ -141,11 +158,41 @@ FaultInjector::beginEpisode(const FaultEpisode &ep)
                 dma->stall(ep.end);
         }
         break;
+      case FaultKind::GpuDown:
+        _stats.inc("faults.device_down");
+        // The fabric refuses everything touching the device from this
+        // tick on (reliable fallbacks included — a dead GPU protects
+        // nothing); its DMA engine stalls for the window.
+        _fabric.setDeviceDown(ep.gpu, true);
+        for (auto &[gpu_id, dma] : _dmas) {
+            if (ep.gpu == gpu_id)
+                dma->stall(ep.end);
+        }
+        for (const DeviceDownListener &l : _deviceDownListeners)
+            l(ep.gpu, ep.end);
+        break;
       case FaultKind::DeliveryDrop:
       case FaultKind::DeliveryDelay:
         // Applied per delivery by the fault filter.
         break;
     }
+}
+
+void
+FaultInjector::endGpuDown(int gpu)
+{
+    // Overlapping windows on one device compose: the device comes
+    // back only when no GpuDown episode still covers it.
+    const Tick now = _eq.curTick();
+    for (const FaultEpisode &ep : _plan.episodes) {
+        if (ep.kind == FaultKind::GpuDown && ep.gpu == gpu &&
+            ep.active(now)) {
+            return;
+        }
+    }
+    _fabric.setDeviceDown(gpu, false);
+    for (const DeviceUpListener &l : _deviceUpListeners)
+        l(gpu);
 }
 
 void
@@ -185,6 +232,9 @@ FaultInjector::onTransfer(const Interconnect::Request &req,
             break;
           case FaultKind::LinkDegrade:
           case FaultKind::DmaStall:
+          case FaultKind::GpuDown:
+            // Device death is enforced by the fabric's refuse path
+            // before the filter runs, reliable traffic included.
             break;
         }
     }

@@ -22,6 +22,7 @@
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -38,6 +39,7 @@ class DmaEngine;
  *  - faults.delayed:         deliveries that took a delay spike
  *  - faults.degrade_windows: degradation windows that began
  *  - faults.stall_windows:   DMA-stall windows that began
+ *  - faults.device_down:     GpuDown windows that began
  *  - faults.correlated_groups: correlated groups that began (counted
  *    once per group, not per member episode)
  *
@@ -82,6 +84,20 @@ class FaultInjector
     /** Attach a span tracer for fault/episode spans. */
     void setTrace(Trace *trace) { _trace = trace; }
 
+    /**
+     * @{ @name Device-loss notification
+     *
+     * GpuDown episodes kill the device in the fabric directly (every
+     * transfer touching it is refused, its DMA stalls); listeners let
+     * the owning system layer react — watchdog discovery, quiesce,
+     * placement — without the injector knowing about it.
+     */
+    using DeviceDownListener = std::function<void(int gpu, Tick until)>;
+    using DeviceUpListener = std::function<void(int gpu)>;
+    void addDeviceDownListener(DeviceDownListener listener);
+    void addDeviceUpListener(DeviceUpListener listener);
+    /** @} */
+
   private:
     EventQueue &_eq;
     Interconnect &_fabric;
@@ -90,6 +106,8 @@ class FaultInjector
     StatSet _stats;
     Trace *_trace = nullptr;
     std::vector<std::pair<int, DmaEngine *>> _dmas;
+    std::vector<DeviceDownListener> _deviceDownListeners;
+    std::vector<DeviceUpListener> _deviceUpListeners;
     std::set<int> _begunGroups;
     bool _armed = false;
 
@@ -101,6 +119,9 @@ class FaultInjector
 
     /** Recompute rate scales from the episodes active right now. */
     void applyRateScales();
+
+    /** End-of-window handler for transient GpuDown episodes. */
+    void endGpuDown(int gpu);
 
     /** Channels a link-targeted episode maps onto. */
     template <typename Fn>

@@ -24,6 +24,8 @@ faultKindName(FaultKind kind)
         return "delay";
       case FaultKind::DmaStall:
         return "dma-stall";
+      case FaultKind::GpuDown:
+        return "gpu-down";
     }
     return "unknown";
 }
@@ -54,7 +56,7 @@ FaultEpisode::describe() const
       default:
         break;
     }
-    if (kind == FaultKind::DmaStall)
+    if (kind == FaultKind::DmaStall || kind == FaultKind::GpuDown)
         oss << " gpu" << endpoint(gpu);
     else
         oss << " gpu" << endpoint(src) << "->gpu" << endpoint(dst);
@@ -94,6 +96,13 @@ FaultPlan::validate(int num_gpus) const
             break;
           case FaultKind::LinkDown:
           case FaultKind::DmaStall:
+            break;
+          case FaultKind::GpuDown:
+            // A whole-device loss needs a concrete victim; a wildcard
+            // would kill every GPU and leave nothing to recover onto.
+            if (ep.gpu < 0)
+                fatalError("FaultPlan: GpuDown requires a concrete "
+                           "gpu target, got wildcard");
             break;
         }
     }
@@ -178,6 +187,18 @@ FaultPlan::stallDma(Tick start, Tick end, int gpu)
 {
     FaultEpisode ep;
     ep.kind = FaultKind::DmaStall;
+    ep.start = start;
+    ep.end = end;
+    ep.gpu = gpu;
+    episodes.push_back(ep);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::downGpu(Tick start, Tick end, int gpu)
+{
+    FaultEpisode ep;
+    ep.kind = FaultKind::GpuDown;
     ep.start = start;
     ep.end = end;
     ep.gpu = gpu;
@@ -307,6 +328,50 @@ mtbfFaultPlan(std::uint64_t seed, int num_gpus, int num_links,
                                            + 1),
                       src, dst, options);
     }
+    plan.validate(num_gpus);
+    return plan;
+}
+
+FaultPlan
+deviceMtbfFaultPlan(std::uint64_t seed, int num_gpus,
+                    const DeviceLifecycleOptions &options)
+{
+    if (num_gpus < 2)
+        fatalError("deviceMtbfFaultPlan: needs at least 2 GPUs, got ",
+                   num_gpus);
+    if (options.mtbf == 0 || options.horizon <= options.earliest)
+        fatalError("deviceMtbfFaultPlan: needs non-zero mtbf and a "
+                   "non-empty [earliest, horizon) window");
+    if (options.maxLosses < 0 || options.maxLosses >= num_gpus) {
+        fatalError("deviceMtbfFaultPlan: maxLosses must leave at "
+                   "least one survivor, got ", options.maxLosses,
+                   " of ", num_gpus);
+    }
+
+    FaultPlan plan;
+    plan.seed = seed;
+
+    // Per-device exponential up-time draws on independent streams:
+    // device g's fate depends only on (seed, g), never on num_gpus.
+    std::vector<std::pair<Tick, int>> deaths;
+    for (int g = 0; g < num_gpus; ++g) {
+        Rng rng(deriveSeed(seed, static_cast<std::uint64_t>(g)));
+        const double draw = -static_cast<double>(options.mtbf)
+            * std::log(1.0 - rng.uniform());
+        const Tick t = options.earliest
+            + std::max<Tick>(1, static_cast<Tick>(draw));
+        if (t < options.horizon)
+            deaths.emplace_back(t, g);
+    }
+
+    // Earliest deaths win the maxLosses budget; ties break by GPU id
+    // so the campaign is total-ordered and replayable.
+    std::sort(deaths.begin(), deaths.end());
+    if (static_cast<int>(deaths.size()) > options.maxLosses)
+        deaths.resize(static_cast<std::size_t>(options.maxLosses));
+    for (const auto &[t, g] : deaths)
+        plan.downGpu(t, maxTick, g);
+
     plan.validate(num_gpus);
     return plan;
 }

@@ -39,6 +39,13 @@ enum class FaultKind
 
     /** The GPU's DMA engine accepts no new copies in the window. */
     DmaStall,
+
+    /**
+     * The whole GPU dies: every transfer touching it (either
+     * endpoint, reliable or not) is refused and its DMA engine
+     * stalls. An episode ending at maxTick is a permanent loss.
+     */
+    GpuDown,
 };
 
 std::string faultKindName(FaultKind kind);
@@ -121,6 +128,7 @@ struct FaultPlan
     FaultPlan &delayDeliveries(Tick start, Tick end, Tick delay,
                                int src = -1, int dst = -1);
     FaultPlan &stallDma(Tick start, Tick end, int gpu = -1);
+    FaultPlan &downGpu(Tick start, Tick end, int gpu);
     /** @} */
 
     /**
@@ -200,6 +208,35 @@ struct LinkLifecycleOptions
 FaultPlan mtbfFaultPlan(std::uint64_t seed, int num_gpus,
                         int num_links,
                         const LinkLifecycleOptions &options = {});
+
+/**
+ * Knobs for seeded device-MTBF campaigns (deviceMtbfFaultPlan). Each
+ * GPU draws an exponentially distributed up time; the GPUs whose
+ * draws land inside the horizon die — permanently — earliest first,
+ * capped at @c maxLosses so a campaign never kills the whole machine.
+ */
+struct DeviceLifecycleOptions
+{
+    /** Mean up time before a device loss. */
+    Tick mtbf = 1500 * ticksPerMicrosecond;
+
+    /** Losses are generated inside [earliest, horizon). */
+    Tick earliest = 0;
+    Tick horizon = 2000 * ticksPerMicrosecond;
+
+    /** Upper bound on GPUs lost in one campaign. */
+    int maxLosses = 1;
+};
+
+/**
+ * Deterministically generate a device-loss campaign for @p num_gpus
+ * GPUs. Each device's up-time draw comes from its own deriveSeed
+ * stream, so enlarging the system never perturbs the fate of GPUs
+ * already in it. Losses are permanent (episodes end at maxTick).
+ */
+FaultPlan deviceMtbfFaultPlan(std::uint64_t seed, int num_gpus,
+                              const DeviceLifecycleOptions &options =
+                                  {});
 
 /** Knobs for the seeded random fault-plan generator. */
 struct RandomFaultOptions

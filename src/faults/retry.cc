@@ -76,6 +76,16 @@ Tick
 RetryingSender::attempt(const Interconnect::Request &req,
                         int attempt_no, bool replanned)
 {
+    // A dead endpoint is not a lossy link: no number of retries (or
+    // the reliable fallback) can land a byte on it, so the transfer
+    // is orphaned outright. This is what lets the event queue drain
+    // after a device loss instead of grinding through the backoff
+    // ladder toward a fallback that would also be refused.
+    if (_fabric.deviceDown(req.src) || _fabric.deviceDown(req.dst)) {
+        bumpStat("transfers.orphaned");
+        return _eq.curTick();
+    }
+
     auto acked = std::make_shared<bool>(false);
     auto tstate = std::make_shared<TimeoutState>();
 
@@ -126,6 +136,13 @@ RetryingSender::attempt(const Interconnect::Request &req,
                            label(req) + " attempt"
                                + std::to_string(attempt_no)
                                + " lost");
+        }
+        // The endpoint may have died while this attempt was on the
+        // wire; orphan instead of escalating (see above).
+        if (_fabric.deviceDown(req.src) ||
+            _fabric.deviceDown(req.dst)) {
+            bumpStat("transfers.orphaned");
+            return;
         }
         if (attempt_no >= _policy.maxAttempts) {
             fallback(req, submit);

@@ -86,6 +86,9 @@ struct RetryPolicy
  *  - transfers.retried:    re-pushes after a lost delivery
  *  - transfers.replanned:  retries moved to a rerouter-planned route
  *  - transfers.abandoned:  (transfer, attempt-budget) exhaustions
+ *  - transfers.orphaned:   transfers given up because an endpoint
+ *                          device is down (no retry, no fallback —
+ *                          a dead GPU can neither send nor receive)
  *  - fallback.activations: reliable-path re-sends after abandonment
  *
  * Trace spans (when a Trace is attached): category "retry" from the

@@ -35,6 +35,7 @@ StrategyElector::elect(const std::string &workload, int gpus,
         _stats.inc("elect.cache_hits");
         Election hit = it->second;
         hit.cacheHit = true;
+        hit.sweepCost = 0; // Memoized result: nothing was measured.
         return hit;
     }
 
@@ -63,6 +64,7 @@ StrategyElector::elect(const std::string &workload, int gpus,
 
     Election election;
     election.config = result.best;
+    election.sweepCost = result.sweepTicks;
     election.paradigm =
         result.best.mechanism == TransferMechanism::Inline
         ? Paradigm::ProactInline

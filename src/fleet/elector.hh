@@ -33,6 +33,14 @@ struct Election
 
     /** Served from the cache (no sweep ran for this request). */
     bool cacheHit = false;
+
+    /**
+     * Simulated cost of the sweep that produced this election
+     * (ProfileResult::sweepTicks); 0 on a cache hit. Fleet sessions
+     * charging elections to the timeline stall the tenant's start by
+     * this much — closing ROADMAP gap (a) for cache-miss sweeps.
+     */
+    Tick sweepCost = 0;
 };
 
 /** Caching (workload, gpus, shareCount) -> strategy elector. */

@@ -5,13 +5,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <deque>
 #include <iomanip>
+#include <map>
 #include <queue>
 #include <sstream>
 #include <tuple>
 #include <utility>
 
 namespace proact::fleet {
+
+RecoveryPolicy
+envRecoveryPolicy()
+{
+    RecoveryPolicy policy;
+    const char *env = std::getenv("PROACT_RECOVERY");
+    policy.enabled =
+        env != nullptr && *env != '\0' && std::string(env) != "0";
+    policy.checkpoint = envCheckpointPolicy();
+    // Recovery without checkpoints restarts from iteration 0 every
+    // time — a repeatedly faulted job would never converge.
+    policy.checkpoint.enabled |= policy.enabled;
+    policy.deviceHealth = envDeviceHealthPolicy();
+    if (const char *min = std::getenv("PROACT_RECOVERY_MIN_GPUS");
+        min != nullptr && *min != '\0') {
+        policy.minGpus = std::clamp(std::atoi(min), 2, 64);
+    }
+    if (const char *max = std::getenv("PROACT_RECOVERY_MAX_ATTEMPTS");
+        max != nullptr && *max != '\0') {
+        policy.maxAttempts = std::clamp(std::atoi(max), 1, 16);
+    }
+    return policy;
+}
 
 HealthPolicy
 fleetHealthPolicy()
@@ -68,6 +94,15 @@ FleetReport::percentileTable() const
     for (const TenantRecord &t : tenants)
         all.push_back(t.latency);
     row("(fleet)", all);
+    // Recovery digest joins the byte-comparable artifact only when a
+    // recovery happened, so fault-free tables stay unchanged.
+    if (!recoveries.empty()) {
+        oss << "recoveries " << recoveries.size() << " quarantined "
+            << quarantinedGpus << " lost_work_p95us "
+            << lostWorkP95 / ticksPerMicrosecond
+            << " recovery_latency_p95us "
+            << recoveryLatencyP95 / ticksPerMicrosecond << "\n";
+    }
     return oss.str();
 }
 
@@ -96,6 +131,27 @@ FleetReport::toJson(const std::string &platform_name,
     oss << "  \"deferred_congestion\": " << deferredCongestion
         << ",\n";
     oss << "  \"forced_admissions\": " << forcedAdmissions << ",\n";
+    oss << "  \"recoveries\": " << recoveries.size() << ",\n";
+    oss << "  \"quarantined_gpus\": " << quarantinedGpus << ",\n";
+    oss << "  \"lost_work_p50_ticks\": " << lostWorkP50 << ",\n";
+    oss << "  \"lost_work_p95_ticks\": " << lostWorkP95 << ",\n";
+    oss << "  \"recovery_latency_p50_ticks\": " << recoveryLatencyP50
+        << ",\n";
+    oss << "  \"recovery_latency_p95_ticks\": " << recoveryLatencyP95
+        << ",\n";
+
+    oss << "  \"recovery_events\": [\n";
+    for (std::size_t i = 0; i < recoveries.size(); ++i) {
+        const RecoveryEvent &ev = recoveries[i];
+        oss << "    {\"job\": " << ev.jobId << ", \"attempt\": "
+            << ev.attempt << ", \"lost_gpu\": " << ev.lostGpu
+            << ", \"resume_iteration\": " << ev.resumeIteration
+            << ", \"abort_ticks\": " << ev.abortTick
+            << ", \"readmit_ticks\": " << ev.readmitTick
+            << ", \"lost_work_ticks\": " << ev.lostWork << "}"
+            << (i + 1 < recoveries.size() ? "," : "") << "\n";
+    }
+    oss << "  ],\n";
 
     oss << "  \"classes\": [\n";
     const auto classes = latenciesByWorkload();
@@ -132,6 +188,8 @@ FleetReport::toJson(const std::string &platform_name,
             << ", \"latency_ticks\": " << t.latency
             << ", \"met_deadline\": "
             << (t.metDeadline ? "true" : "false")
+            << ", \"attempt\": " << t.attempt
+            << ", \"first_iteration\": " << t.firstIteration
             << ", \"faults_dropped\": " << t.run.faultsDropped
             << ", \"retries\": " << t.run.retries << "}"
             << (i + 1 < tenants.size() ? "," : "") << "\n";
@@ -192,11 +250,17 @@ FleetSession::feedPlane(const PlacementAllocator &allocator,
 
 TenantRecord
 FleetSession::runTenant(const JobSpec &job,
-                        const Placement &placement, Tick now)
+                        const Placement &placement, Tick now,
+                        int attempt, int first_iteration)
 {
     TenantRecord rec;
     rec.job = job;
     rec.placement = placement;
+    rec.attempt = attempt;
+    rec.firstIteration = first_iteration;
+    // A resumed job re-elects for its (possibly shrunk) GPU count
+    // and its new plane share — the elector cache makes a repeat
+    // shape free.
     rec.election =
         _elector.elect(job.workload, job.gpus, placement.shareCount);
 
@@ -216,12 +280,18 @@ FleetSession::runTenant(const JobSpec &job,
     run_options.config = rec.election.config;
     run_options.functional = _options.functional;
     if (_options.faultPlanFor) {
-        run_options.faults = _options.faultPlanFor(job);
+        run_options.faults = _options.faultPlanFor(job, attempt);
         if (!run_options.faults.empty())
             run_options.retry.enabled = true;
     }
     if (_options.observerFor)
         run_options.deliveryObserver = _options.observerFor(job);
+    if (_options.recovery.enabled) {
+        run_options.deviceHealth = true;
+        run_options.deviceHealthPolicy = _options.recovery.deviceHealth;
+        run_options.checkpoint = _options.recovery.checkpoint;
+        run_options.firstIteration = first_iteration;
+    }
 
     Session session(slice);
     rec.run =
@@ -229,7 +299,12 @@ FleetSession::runTenant(const JobSpec &job,
 
     rec.admitted = now;
     rec.queueDelay = now - job.arrival;
-    rec.serviceTicks = rec.run.ticks;
+    if (_options.chargeElections)
+        rec.electionSweepTicks = rec.election.sweepCost;
+    if (first_iteration > 0)
+        rec.restoreTicks = _options.recovery.checkpoint.cost;
+    rec.serviceTicks =
+        rec.run.ticks + rec.electionSweepTicks + rec.restoreTicks;
     rec.completion = now + rec.serviceTicks;
     rec.latency = rec.completion - job.arrival;
     rec.metDeadline =
@@ -271,6 +346,20 @@ FleetSession::serve(const std::vector<JobSpec> &jobs)
     std::vector<const JobSpec *> pending;
     int running = 0;
 
+    // Device-loss recovery bookkeeping. Resumed specs live in a
+    // deque (stable addresses for the pending pointers) and keep the
+    // job's original arrival, so a recovered job's latency spans its
+    // whole life — queueing, the killed attempt, and the restart.
+    struct ResumeState
+    {
+        int attempt = 0;
+        int firstIteration = 0;
+        std::size_t openRecovery = 0; ///< Index into recoveries.
+    };
+    std::map<int, ResumeState> resume;
+    std::deque<JobSpec> respawned;
+    std::vector<RecoveryEvent> recoveries;
+
     const auto plane_congested = [&](int plane) {
         const auto [src, dst] = allocator.planeRepLink(plane);
         return src != dst
@@ -296,6 +385,66 @@ FleetSession::serve(const std::vector<JobSpec> &jobs)
                               _options.congestionClearSamples, 0.0);
                 }
             }
+
+            if (done.run.aborted && _options.recovery.enabled) {
+                // The run's lostGpu is a slice-local id; the fleet
+                // quarantines the physical device behind it.
+                const int physical = done.placement.gpus.at(
+                    static_cast<std::size_t>(done.run.lostGpu));
+                allocator.quarantine(physical);
+
+                ResumeState &state = resume[done.job.id];
+                state.attempt = done.attempt + 1;
+                if (state.attempt > _options.recovery.maxAttempts) {
+                    fatalError("FleetSession: job ", done.job.id,
+                               " exceeded ",
+                               _options.recovery.maxAttempts,
+                               " restart attempts");
+                }
+                // Checkpoints from earlier attempts survive: an
+                // attempt that died before its first checkpoint
+                // resumes from where the previous one left off.
+                state.firstIteration = std::max(
+                    state.firstIteration,
+                    done.run.checkpointIteration + 1);
+
+                RecoveryEvent ev;
+                ev.jobId = done.job.id;
+                ev.attempt = done.attempt;
+                ev.lostGpu = physical;
+                ev.resumeIteration = state.firstIteration;
+                ev.abortTick = now;
+                // Progress past the resume point is discarded:
+                // prorate the killed attempt's service time over its
+                // uncheckpointed iterations.
+                const int executed = done.run.completedIterations
+                    - done.firstIteration;
+                const int preserved = std::max(
+                    0, state.firstIteration - done.firstIteration);
+                ev.lostWork = executed > 0
+                    ? done.serviceTicks
+                        * static_cast<Tick>(executed - preserved)
+                        / static_cast<Tick>(executed)
+                    : done.serviceTicks;
+                state.openRecovery = recoveries.size();
+                recoveries.push_back(ev);
+
+                // Re-enter the queue, shrunk to what the surviving
+                // planes can ever grant.
+                JobSpec restart = done.job;
+                const int capacity = allocator.maxAllocatableGpus();
+                if (restart.gpus > capacity) {
+                    if (capacity < _options.recovery.minGpus) {
+                        fatalError("FleetSession: only ", capacity,
+                                   " allocatable GPUs left, below "
+                                   "the recovery floor of ",
+                                   _options.recovery.minGpus);
+                    }
+                    restart.gpus = capacity;
+                }
+                respawned.push_back(std::move(restart));
+                pending.push_back(&respawned.back());
+            }
         } else {
             pending.push_back(
                 &jobs[static_cast<std::size_t>(event.idx)]);
@@ -305,14 +454,45 @@ FleetSession::serve(const std::vector<JobSpec> &jobs)
         // only shrinks capacity, so a single sweep suffices.
         AdmissionController::sortQueue(pending);
         for (auto it = pending.begin(); it != pending.end();) {
-            const JobSpec &job = **it;
+            const JobSpec *spec = *it;
             auto placement = admission.tryAdmit(
-                job, allocator, plane_congested, running == 0);
+                *spec, allocator, plane_congested, running == 0);
+            if (!placement && _options.recovery.enabled
+                && spec->gpus > allocator.maxAllocatableGpus()) {
+                // Quarantine shrank the machine under a waiting
+                // job's feet: clamp the request to what a surviving
+                // plane can ever grant (same floor as a respawn) and
+                // retry at once — this pass may be the last event.
+                const int capacity = allocator.maxAllocatableGpus();
+                if (capacity < _options.recovery.minGpus) {
+                    fatalError("FleetSession: only ", capacity,
+                               " allocatable GPUs left, below the "
+                               "recovery floor of ",
+                               _options.recovery.minGpus);
+                }
+                JobSpec shrunk = *spec;
+                shrunk.gpus = capacity;
+                respawned.push_back(std::move(shrunk));
+                *it = spec = &respawned.back();
+                placement = admission.tryAdmit(
+                    *spec, allocator, plane_congested, running == 0);
+            }
             if (!placement) {
                 ++it;
                 continue;
             }
-            records.push_back(runTenant(job, *placement, now));
+            const JobSpec &job = *spec;
+            int attempt = 0;
+            int first_iteration = 0;
+            if (const auto rs = resume.find(job.id);
+                rs != resume.end()) {
+                attempt = rs->second.attempt;
+                first_iteration = rs->second.firstIteration;
+                recoveries.at(rs->second.openRecovery).readmitTick =
+                    now;
+            }
+            records.push_back(runTenant(job, *placement, now,
+                                        attempt, first_iteration));
             events.push(Event{records.back().completion, 0,
                               static_cast<int>(records.size()) - 1});
             ++running;
@@ -335,17 +515,39 @@ FleetSession::serve(const std::vector<JobSpec> &jobs)
     }
 
     FleetReport report;
-    report.tenants = std::move(records);
+    report.recoveries = std::move(recoveries);
+    report.quarantinedGpus =
+        static_cast<std::uint64_t>(allocator.quarantinedGpus());
 
+    // Killed attempts still consumed fleet time and fabric capacity
+    // (makespan, utilization, payload), but only each job's final
+    // successful attempt is a served tenant with a latency.
     std::vector<Tick> latencies;
     std::uint64_t payload = 0;
     double gpu_ticks = 0.0;
-    for (const TenantRecord &t : report.tenants) {
-        latencies.push_back(t.latency);
+    for (TenantRecord &t : records) {
         payload += t.run.payloadBytes;
         gpu_ticks += static_cast<double>(t.job.gpus)
             * static_cast<double>(t.serviceTicks);
         report.makespan = std::max(report.makespan, t.completion);
+        if (t.run.aborted)
+            continue;
+        latencies.push_back(t.latency);
+        report.tenants.push_back(std::move(t));
+    }
+
+    {
+        std::vector<Tick> lost, latency;
+        for (const RecoveryEvent &ev : report.recoveries) {
+            lost.push_back(ev.lostWork);
+            latency.push_back(ev.readmitTick - ev.abortTick);
+        }
+        report.lostWorkP50 = FleetReport::percentile(lost, 50.0);
+        report.lostWorkP95 = FleetReport::percentile(lost, 95.0);
+        report.recoveryLatencyP50 =
+            FleetReport::percentile(latency, 50.0);
+        report.recoveryLatencyP95 =
+            FleetReport::percentile(latency, 95.0);
     }
     report.p50 = FleetReport::percentile(latencies, 50.0);
     report.p95 = FleetReport::percentile(latencies, 95.0);

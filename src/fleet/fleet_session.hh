@@ -49,6 +49,47 @@
 
 namespace proact::fleet {
 
+/**
+ * Device-loss recovery behaviour for the whole fleet (ISSUE:
+ * checkpointed job recovery and GPU quarantine). When enabled, every
+ * tenant runs with the device watchdog and iteration-boundary
+ * checkpoints armed; an aborted tenant releases its placement, the
+ * dead physical GPU is quarantined for the rest of the serve, and
+ * the job re-enters the admission queue to restart from its latest
+ * checkpoint — shrunk onto surviving GPUs when its original request
+ * no longer fits any plane.
+ */
+struct RecoveryPolicy
+{
+    bool enabled = false;
+
+    /** Checkpoints for every tenant run (restore costs one
+     * checkpoint.cost at restart). */
+    CheckpointPolicy checkpoint{true};
+
+    /** Watchdog thresholds for every tenant run. */
+    DeviceHealthPolicy deviceHealth;
+
+    /** Never shrink a resumed job below this many GPUs. */
+    int minGpus = 2;
+
+    /** Restart budget per job; exceeding it is a fleet error. */
+    int maxAttempts = 4;
+};
+
+/**
+ * Recovery knobs from the environment:
+ *  - PROACT_RECOVERY=1             enable checkpointed recovery
+ *  - PROACT_RECOVERY_MIN_GPUS      shrink floor (default 2,
+ *                                  clamp [2, 64])
+ *  - PROACT_RECOVERY_MAX_ATTEMPTS  restart budget (default 4,
+ *                                  clamp [1, 16])
+ * plus the PROACT_CHECKPOINT_* / PROACT_DEVICE_HEALTH_* families for
+ * the nested policies (checkpointing is forced on when recovery is
+ * on — restarting from iteration 0 forever would never converge).
+ */
+RecoveryPolicy envRecoveryPolicy();
+
 /** Everything the fleet learned about one served tenant. */
 struct TenantRecord
 {
@@ -58,18 +99,58 @@ struct TenantRecord
 
     Tick admitted = 0;     ///< Fleet tick the job started.
     Tick queueDelay = 0;   ///< admitted - arrival.
-    Tick serviceTicks = 0; ///< Nested-simulation makespan.
+    Tick serviceTicks = 0; ///< Nested makespan + charges (below).
     Tick completion = 0;   ///< admitted + serviceTicks.
     Tick latency = 0;      ///< completion - arrival.
     bool metDeadline = true;
+
+    /** Restart ordinal (0 = first attempt). */
+    int attempt = 0;
+
+    /** Iteration this attempt resumed from (0 = from the start). */
+    int firstIteration = 0;
+
+    /** Election sweep cost charged to the timeline (0 unless
+     * Options::chargeElections). */
+    Tick electionSweepTicks = 0;
+
+    /** Checkpoint-restore cost charged at a resumed start. */
+    Tick restoreTicks = 0;
 
     /** Harness counters of the tenant's run. */
     ParadigmRun run;
 };
 
+/** One device-loss -> restart episode observed during a serve. */
+struct RecoveryEvent
+{
+    int jobId = 0;
+
+    /** Attempt that was killed (0-based). */
+    int attempt = 0;
+
+    /** Physical GPU quarantined. */
+    int lostGpu = -1;
+
+    /** Iteration the restart resumed from. */
+    int resumeIteration = 0;
+
+    Tick abortTick = 0;   ///< Fleet tick the abort surfaced.
+    Tick readmitTick = 0; ///< Fleet tick the restart began running.
+
+    /**
+     * Simulated progress discarded by the restart: the aborted
+     * attempt's service time prorated over the iterations that were
+     * not covered by a checkpoint.
+     */
+    Tick lostWork = 0;
+};
+
 /** Aggregate outcome of one serve() call. */
 struct FleetReport
 {
+    /** Final (successful) attempt of every job; aborted attempts
+     * appear only in @c recoveries. */
     std::vector<TenantRecord> tenants;
 
     Tick makespan = 0;
@@ -94,6 +175,19 @@ struct FleetReport
     std::uint64_t deferredCapacity = 0;
     std::uint64_t deferredCongestion = 0;
     std::uint64_t forcedAdmissions = 0;
+
+    /** @{ @name Device-loss recovery telemetry */
+    std::vector<RecoveryEvent> recoveries;
+    std::uint64_t quarantinedGpus = 0;
+
+    /** Lost-work percentiles over @c recoveries (nearest-rank). */
+    Tick lostWorkP50 = 0;
+    Tick lostWorkP95 = 0;
+
+    /** Abort-to-restart latency percentiles over @c recoveries. */
+    Tick recoveryLatencyP50 = 0;
+    Tick recoveryLatencyP95 = 0;
+    /** @} */
 
     /** Latency percentile of @p values (nearest-rank, p in (0,100]). */
     static Tick percentile(std::vector<Tick> values, double p);
@@ -137,9 +231,23 @@ class FleetSession
         /**
          * Per-tenant fault schedule (empty plan = clean run). Lets
          * tests fault one tenant and assert the neighbours never
-         * notice.
+         * notice. Called with the restart ordinal so a recovery
+         * campaign can hand the device-loss episode to attempt 0 and
+         * a clean (or differently faulted) plan to the restart.
          */
-        std::function<FaultPlan(const JobSpec &)> faultPlanFor;
+        std::function<FaultPlan(const JobSpec &, int attempt)>
+            faultPlanFor;
+
+        /** Checkpointed device-loss recovery (see RecoveryPolicy). */
+        RecoveryPolicy recovery;
+
+        /**
+         * Charge each cache-miss election sweep's simulated cost to
+         * the elected tenant's timeline (the fleet face of
+         * PROACT_REPROFILE_CHARGE — cache hits stay free, which is
+         * the point of the persistent elector cache).
+         */
+        bool chargeElections = false;
 
         /**
          * Per-tenant delivery observer, registered on the tenant's
@@ -201,7 +309,8 @@ class FleetSession
 
     /** Execute one admitted tenant on its platform slice. */
     TenantRecord runTenant(const JobSpec &job,
-                           const Placement &placement, Tick now);
+                           const Placement &placement, Tick now,
+                           int attempt, int first_iteration);
 };
 
 /** Monitor policy used for the fleet-level congestion state. */

@@ -33,6 +33,7 @@ PlacementAllocator::PlacementAllocator(const PlatformSpec &platform,
             static_cast<std::size_t>(
                 std::min(_gpusPerPlane, platform.numGpus - first)),
             false);
+        plane.quarantined.assign(plane.busy.size(), false);
         _planes.push_back(std::move(plane));
     }
 }
@@ -65,7 +66,7 @@ PlacementAllocator::tryAllocate(int gpus)
              g < plane.busy.size()
              && placement.gpus.size() < static_cast<std::size_t>(gpus);
              ++g) {
-            if (plane.busy[g])
+            if (plane.busy[g] || plane.quarantined[g])
                 continue;
             plane.busy[g] = true;
             placement.gpus.push_back(plane.firstGpu
@@ -112,9 +113,56 @@ PlacementAllocator::freeGpusOnPlane(int plane) const
 {
     const Plane &p = _planes.at(static_cast<std::size_t>(plane));
     int free = 0;
-    for (const bool busy : p.busy)
-        free += busy ? 0 : 1;
+    for (std::size_t g = 0; g < p.busy.size(); ++g)
+        free += (p.busy[g] || p.quarantined[g]) ? 0 : 1;
     return free;
+}
+
+void
+PlacementAllocator::quarantine(int gpu)
+{
+    const int p = gpu / _gpusPerPlane;
+    if (p < 0 || p >= numPlanes())
+        fatalError("PlacementAllocator: quarantine of unknown gpu",
+                   gpu);
+    Plane &plane = _planes[static_cast<std::size_t>(p)];
+    plane.quarantined.at(
+        static_cast<std::size_t>(gpu - plane.firstGpu)) = true;
+}
+
+bool
+PlacementAllocator::isQuarantined(int gpu) const
+{
+    const int p = gpu / _gpusPerPlane;
+    if (p < 0 || p >= numPlanes())
+        return false;
+    const Plane &plane = _planes[static_cast<std::size_t>(p)];
+    return plane.quarantined.at(
+        static_cast<std::size_t>(gpu - plane.firstGpu));
+}
+
+int
+PlacementAllocator::maxAllocatableGpus() const
+{
+    int best = 0;
+    for (const Plane &plane : _planes) {
+        int capacity = 0;
+        for (const bool q : plane.quarantined)
+            capacity += q ? 0 : 1;
+        best = std::max(best, capacity);
+    }
+    return best;
+}
+
+int
+PlacementAllocator::quarantinedGpus() const
+{
+    int total = 0;
+    for (const Plane &plane : _planes) {
+        for (const bool q : plane.quarantined)
+            total += q ? 1 : 0;
+    }
+    return total;
 }
 
 std::pair<int, int>

@@ -70,6 +70,27 @@ class PlacementAllocator
     /** Return a placement's GPUs and tenant slots to the pool. */
     void release(const Placement &placement);
 
+    /**
+     * Permanently remove @p gpu from the pool: a LOST device must
+     * never be granted again (releasing a placement that contains it
+     * is fine — the slot stays unallocatable). Idempotent.
+     */
+    void quarantine(int gpu);
+
+    /** Whether @p gpu is quarantined. */
+    bool isQuarantined(int gpu) const;
+
+    /** GPUs quarantined so far across every plane. */
+    int quarantinedGpus() const;
+
+    /**
+     * Largest request any plane could ever satisfy once current
+     * tenants drain (plane size minus its quarantined GPUs) — the
+     * shrink target for a resumed job whose original GPU count no
+     * longer fits anywhere.
+     */
+    int maxAllocatableGpus() const;
+
     int numPlanes() const
     {
         return static_cast<int>(_planes.size());
@@ -97,7 +118,8 @@ class PlacementAllocator
     {
         int firstGpu = 0;
         int tenants = 0;
-        std::vector<bool> busy; ///< Per-GPU occupancy.
+        std::vector<bool> busy;        ///< Per-GPU occupancy.
+        std::vector<bool> quarantined; ///< Permanently withdrawn.
     };
 
     PlacementMode _mode;

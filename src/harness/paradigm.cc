@@ -35,7 +35,8 @@ allParadigms()
 std::unique_ptr<Runtime>
 makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
             const TransferConfig &config,
-            AdaptiveReprofiler *reprofiler)
+            AdaptiveReprofiler *reprofiler,
+            const CheckpointPolicy &checkpoint, int first_iteration)
 {
     switch (paradigm) {
       case Paradigm::CudaMemcpy:
@@ -48,6 +49,8 @@ makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
         // policy so fault-tolerant sweeps cover it too.
         options.config = config;
         options.config.mechanism = TransferMechanism::Inline;
+        options.checkpoint = checkpoint;
+        options.firstIteration = first_iteration;
         // The reprofiler sweeps decoupled configurations only; a
         // hot-swap out of inline mid-run is not modeled.
         return std::make_unique<ProactRuntime>(system, options);
@@ -58,6 +61,8 @@ makeRuntime(Paradigm paradigm, MultiGpuSystem &system,
         if (!options.config.decoupled())
             options.config.mechanism = TransferMechanism::Polling;
         options.reprofiler = reprofiler;
+        options.checkpoint = checkpoint;
+        options.firstIteration = first_iteration;
         return std::make_unique<ProactRuntime>(system, options);
       }
       case Paradigm::InfiniteBw:

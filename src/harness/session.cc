@@ -29,6 +29,15 @@ ParadigmRun::faultSummary() const
     field("reroutes", reroutes);
     field("sweeps", reprofileSweeps);
     field("swaps", configSwaps);
+    field("refused", refusedDeliveries);
+    field("quiesced", quiescedFlights);
+    field("orphaned", orphanedTransfers);
+    field("checkpoints", static_cast<std::uint64_t>(checkpoints));
+    if (aborted) {
+        if (oss.tellp() > 0)
+            oss << " ";
+        oss << "lost_gpu=" << lostGpu;
+    }
     return oss.str();
 }
 
@@ -68,7 +77,13 @@ Session::run(Workload &workload, Paradigm paradigm,
         options.reroute = envRerouteEnabled();
         options.reroutePolicy = envReroutePolicy();
         options.reprofile = envReprofileEnabled();
+        options.reprofileCharge = envReprofileChargeEnabled();
+        options.deviceHealth = envDeviceHealthEnabled();
+        options.deviceHealthPolicy = envDeviceHealthPolicy();
     }
+    // Checkpointing is independent of fault injection: a fault-free
+    // run can still measure the checkpoint overhead.
+    options.checkpoint = envCheckpointPolicy();
     return run(workload, paradigm, options);
 }
 
@@ -93,6 +108,8 @@ Session::run(Workload &workload, Paradigm paradigm,
         // delivery tick.
         system.fabric().setRebooking(true);
     }
+    if (options.deviceHealth)
+        system.enableDeviceHealth(options.deviceHealthPolicy);
     if (options.reroute)
         system.enableReroute(options.reroutePolicy);
     if (options.reprofile && options.reprofileFactory &&
@@ -100,8 +117,10 @@ Session::run(Workload &workload, Paradigm paradigm,
         TransferConfig initial = effective;
         if (!initial.decoupled())
             initial.mechanism = TransferMechanism::Polling;
+        AdaptiveReprofiler::Options ropts;
+        ropts.chargeTimeline = options.reprofileCharge;
         reprofiler = std::make_unique<AdaptiveReprofiler>(
-            system, options.reprofileFactory, initial);
+            system, options.reprofileFactory, initial, ropts);
     }
 
     // Per-tenant tracing rides the observer list next to the health
@@ -109,8 +128,9 @@ Session::run(Workload &workload, Paradigm paradigm,
     if (options.deliveryObserver)
         system.fabric().addDeliveryObserver(options.deliveryObserver);
 
-    auto runtime =
-        makeRuntime(paradigm, system, effective, reprofiler.get());
+    auto runtime = makeRuntime(paradigm, system, effective,
+                               reprofiler.get(), options.checkpoint,
+                               options.firstIteration);
 
     ParadigmRun result;
     result.paradigm = paradigm;
@@ -131,7 +151,19 @@ Session::run(Workload &workload, Paradigm paradigm,
         result.fallbacks =
             u64(pr->stats().get("fallback.activations"));
         result.configSwaps = u64(pr->stats().get("config_swaps"));
+        result.aborted = pr->aborted();
+        result.lostGpu = pr->lostGpu();
+        result.completedIterations = pr->completedIterations();
+        result.checkpointIteration = pr->checkpointIteration();
+        result.checkpoints = pr->checkpoints();
+        result.checkpointTicks = pr->checkpointTicks();
+        result.orphanedTransfers =
+            u64(pr->stats().get("transfers.orphaned"));
+        result.reprofileChargedTicks = static_cast<Tick>(
+            pr->stats().get("reprofile.charged_ticks"));
     }
+    result.refusedDeliveries = system.fabric().refusedDeliveries();
+    result.quiescedFlights = system.fabric().quiescedFlights();
     if (const LinkHealthMonitor *health = system.health()) {
         result.linkTransitions =
             u64(health->stats().get("health.transitions"));
@@ -149,9 +181,14 @@ Session::run(Workload &workload, Paradigm paradigm,
             u64(reprofiler->stats().get("reprofile.sweeps"));
     }
 
-    if (options.functional && !workload.verify())
+    // An aborted run legitimately leaves the math unfinished, and a
+    // resumed run never executed the iterations before its restart
+    // point on this instance — neither can pass full verification.
+    if (options.functional && !result.aborted &&
+        options.firstIteration == 0 && !workload.verify()) {
         fatalError("Session: '", workload.name(),
                    "' failed verification under ", runtime->name());
+    }
     return result;
 }
 

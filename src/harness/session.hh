@@ -56,6 +56,23 @@ struct ParadigmRun
     /** @} */
 
     /**
+     * @{ @name Device-loss / checkpoint outcome
+     * Populated by the PROACT runtimes when the device watchdog or
+     * checkpointing is armed (RunOptions::deviceHealth / checkpoint).
+     */
+    bool aborted = false;              ///< A GPU was declared LOST.
+    int lostGpu = -1;                  ///< The LOST GPU (-1 = none).
+    int completedIterations = 0;       ///< Iterations fully done.
+    int checkpointIteration = -1;      ///< Latest checkpointed iter.
+    int checkpoints = 0;               ///< Checkpoints written.
+    Tick checkpointTicks = 0;          ///< Ticks spent checkpointing.
+    std::uint64_t refusedDeliveries = 0; ///< Dead-endpoint refusals.
+    std::uint64_t quiescedFlights = 0; ///< In-flight DMA aborted.
+    std::uint64_t orphanedTransfers = 0; ///< Given-up dead transfers.
+    Tick reprofileChargedTicks = 0;    ///< Sweep cost on timeline.
+    /** @} */
+
+    /**
      * One-line fault/health digest ("retries=3 reroutes=5 ...");
      * empty when every fault-adaptive counter is zero.
      */
@@ -108,6 +125,31 @@ class Session
          */
         bool reprofile = false;
         WorkloadFactory reprofileFactory;
+
+        /**
+         * Charge each narrowed re-profiling sweep's simulated cost to
+         * the run's timeline (AdaptiveReprofiler's chargeTimeline —
+         * PROACT_REPROFILE_CHARGE in the env overload).
+         */
+        bool reprofileCharge = false;
+
+        /**
+         * Device heartbeat watchdog on the fresh system: declares
+         * GPUs LOST with hysteresis, quiesces their in-flight DMA and
+         * poisons their links. Required for checkpointed recovery —
+         * without it a device loss panics on missing deliveries.
+         */
+        bool deviceHealth = false;
+        DeviceHealthPolicy deviceHealthPolicy;
+
+        /** Iteration-boundary checkpoints (PROACT paradigms only). */
+        CheckpointPolicy checkpoint;
+
+        /**
+         * Resume a recovery restart at this iteration (normally the
+         * previous attempt's checkpointIteration + 1).
+         */
+        int firstIteration = 0;
 
         /**
          * Extra delivery observer registered on the fresh system's

@@ -242,6 +242,18 @@ LinkHealthMonitor::recordLoss(int src, int dst)
 }
 
 void
+LinkHealthMonitor::markDeviceLost(int gpu)
+{
+    const int n = _fabric.numGpus();
+    for (int other = 0; other < n; ++other) {
+        if (other == gpu)
+            continue;
+        setState(gpu, other, LinkState::Down);
+        setState(other, gpu, LinkState::Down);
+    }
+}
+
+void
 LinkHealthMonitor::reclassify(int src, int dst)
 {
     Link &l = link(src, dst);
@@ -360,6 +372,11 @@ LinkHealthMonitor::scheduleProbe(int src, int dst)
         l.probeFailures >= _policy.maxProbeFailures) {
         return;
     }
+    // No probe can revive a link whose endpoint device is dead, and
+    // probing 2(N-1) dead links would pin the event queue for the
+    // whole probe budget after a device loss.
+    if (_fabric.deviceDown(src) || _fabric.deviceDown(dst))
+        return;
     l.probeScheduled = true;
     _eq.scheduleIn(_policy.probeInterval,
                    [this, src, dst] { sendProbe(src, dst); });

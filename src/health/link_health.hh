@@ -196,6 +196,16 @@ class LinkHealthMonitor : public LinkStateProvider
     /** Feed one observed loss. */
     void recordLoss(int src, int dst);
 
+    /**
+     * Force every link touching @p gpu DOWN at once — the link-level
+     * shadow of a whole-device loss. Listeners fire per link, so the
+     * rerouter's push-invalidated plan cache drops every plan through
+     * the dead device; probing is suppressed (no probe can revive a
+     * link whose endpoint is gone, and probing 2(N-1) dead links
+     * would pin the event queue for the probe budget).
+     */
+    void markDeviceLost(int gpu);
+
     /** EWMA wire service latency of a link (0 before any delivery). */
     Tick ewmaLatency(int src, int dst) const;
 

@@ -10,7 +10,8 @@ namespace proact {
 Interconnect::Interconnect(EventQueue &eq, const FabricSpec &spec,
                            int num_gpus)
     : _eq(eq), _spec(spec), _packet(packetModelFor(spec.protocol)),
-      _numGpus(num_gpus), _storeTransactions(num_gpus, 0)
+      _numGpus(num_gpus), _storeTransactions(num_gpus, 0),
+      _deadDevice(static_cast<std::size_t>(num_gpus), 0)
 {
     if (num_gpus < 1)
         fatalError("Interconnect: need at least one GPU, got ",
@@ -92,6 +93,30 @@ Tick
 Interconnect::transfer(const Request &req)
 {
     validate(req);
+
+    if (_deadDevice[static_cast<std::size_t>(req.src)] ||
+        _deadDevice[static_cast<std::size_t>(req.dst)]) {
+        // Dead endpoint: refuse at submission, reliable or not. No
+        // wire occupancy, no completion — the observers get a dropped
+        // zero-wire sample so the health layer counts the loss, and
+        // the returned tick is "now" (there is no delivery horizon to
+        // wait out on a transfer that never entered the fabric).
+        ++_refusedDeliveries;
+        const Tick now = _eq.curTick();
+        DeliverySample sample;
+        sample.enqueued = now;
+        sample.start = now;
+        sample.delivered = now;
+        sample.dropped = true;
+        notifyObservers(req, sample);
+        if (_trace) {
+            _trace->record(now, now, "fault",
+                           "gpu" + std::to_string(req.src) + "->gpu"
+                               + std::to_string(req.dst)
+                               + " refused (device down)");
+        }
+        return now;
+    }
 
     if (req.bytes == 0) {
         const Tick when = std::max(_eq.curTick(), req.notBefore);
@@ -234,6 +259,8 @@ Interconnect::finishDelivery(const Request &req, DeliverySample sample,
         // occupancy still re-times, but there is nothing to fire.
         const std::uint64_t fid = _nextFlightId++;
         Flight flight;
+        flight.src = req.src;
+        flight.dst = req.dst;
         flight.hops = std::move(hops);
         flight.extraDelay = extra_delay;
         flight.delivered = delivered;
@@ -250,20 +277,7 @@ Interconnect::finishDelivery(const Request &req, DeliverySample sample,
         _eq.schedule(delivered, req.onComplete);
     }
 
-    // An observer may deregister (but not register) from inside its
-    // callback: removal mid-dispatch only nulls the slot, so the
-    // index walk stays valid; nulled slots compact afterwards.
-    if (!_observers.empty()) {
-        _dispatchingObservers = true;
-        for (std::size_t i = 0; i < _observers.size(); ++i) {
-            if (_observers[i].observer)
-                _observers[i].observer(req, sample);
-        }
-        _dispatchingObservers = false;
-        std::erase_if(_observers, [](const ObserverSlot &slot) {
-            return slot.observer == nullptr;
-        });
-    }
+    notifyObservers(req, sample);
 
     if (_trace) {
         _trace->record(start, delivered,
@@ -276,6 +290,68 @@ Interconnect::finishDelivery(const Request &req, DeliverySample sample,
     // is when the delivery would have completed, which the retry
     // layer uses as its acknowledgement horizon.
     return delivered;
+}
+
+void
+Interconnect::notifyObservers(const Request &req,
+                              const DeliverySample &sample)
+{
+    // An observer may deregister (but not register) from inside its
+    // callback: removal mid-dispatch only nulls the slot, so the
+    // index walk stays valid; nulled slots compact afterwards.
+    if (_observers.empty())
+        return;
+    _dispatchingObservers = true;
+    for (std::size_t i = 0; i < _observers.size(); ++i) {
+        if (_observers[i].observer)
+            _observers[i].observer(req, sample);
+    }
+    _dispatchingObservers = false;
+    std::erase_if(_observers, [](const ObserverSlot &slot) {
+        return slot.observer == nullptr;
+    });
+}
+
+void
+Interconnect::setDeviceDown(int gpu, bool down)
+{
+    if (gpu < 0 || gpu >= _numGpus)
+        fatalError("Interconnect: setDeviceDown on bad gpu ", gpu);
+    _deadDevice[static_cast<std::size_t>(gpu)] = down ? 1 : 0;
+}
+
+bool
+Interconnect::deviceDown(int gpu) const
+{
+    if (gpu < 0 || gpu >= _numGpus)
+        fatalError("Interconnect: deviceDown on bad gpu ", gpu);
+    return _deadDevice[static_cast<std::size_t>(gpu)] != 0;
+}
+
+std::size_t
+Interconnect::quiesceDevice(int gpu)
+{
+    if (gpu < 0 || gpu >= _numGpus)
+        fatalError("Interconnect: quiesceDevice on bad gpu ", gpu);
+    std::size_t aborted = 0;
+    for (auto it = _flights.begin(); it != _flights.end();) {
+        Flight &flight = it->second;
+        if (flight.src != gpu && flight.dst != gpu) {
+            ++it;
+            continue;
+        }
+        if (flight.event != 0)
+            _eq.deschedule(flight.event);
+        for (const Hop &hop : flight.hops) {
+            const auto per_channel = _hopIndex.find(hop.channel);
+            if (per_channel != _hopIndex.end())
+                per_channel->second.erase(hop.booking);
+        }
+        it = _flights.erase(it);
+        ++aborted;
+    }
+    _quiescedFlights += aborted;
+    return aborted;
 }
 
 Interconnect::ObserverHandle

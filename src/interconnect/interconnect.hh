@@ -251,6 +251,48 @@ class Interconnect
         return _rebookedDeliveries;
     }
 
+    /**
+     * @{ @name Device loss
+     *
+     * A down device refuses every new transfer touching it — reliable
+     * traffic included, since hardware reliability protects the wire,
+     * not a dead endpoint. Refused submissions occupy no wire,
+     * schedule no completion, and are reported to observers as
+     * dropped zero-wire samples so the health layer sees the losses.
+     * Transfers already in flight are untouched until quiesceDevice()
+     * aborts them.
+     */
+    void setDeviceDown(int gpu, bool down);
+
+    bool deviceDown(int gpu) const;
+
+    /**
+     * Abort every tracked in-flight transfer (rebooking mode) whose
+     * source or destination is @p gpu: completion events are
+     * descheduled and the flights forgotten, so their callbacks never
+     * fire. The wire occupancy already booked stays — the bytes were
+     * committed to the fabric before the device died.
+     *
+     * @return Number of flights aborted.
+     */
+    std::size_t quiesceDevice(int gpu);
+
+    /** Submissions refused because an endpoint device was down. */
+    std::uint64_t refusedDeliveries() const
+    {
+        return _refusedDeliveries;
+    }
+
+    /** Flights aborted by quiesceDevice so far. */
+    std::uint64_t quiescedFlights() const
+    {
+        return _quiescedFlights;
+    }
+
+    /** Live tracked flights (rebooking mode only). */
+    std::size_t numTrackedFlights() const { return _flights.size(); }
+    /** @} */
+
   private:
     EventQueue &_eq;
     FabricSpec _spec;
@@ -298,6 +340,8 @@ class Interconnect
     /** A live transfer whose completion may move under rebooking. */
     struct Flight
     {
+        int src = -1;                   ///< Endpoints, for quiesce.
+        int dst = -1;
         std::vector<Hop> hops;
         Tick extraDelay = 0;            ///< Fault-injected delay.
         Tick delivered = 0;             ///< Current delivery tick.
@@ -309,6 +353,11 @@ class Interconnect
     bool _rebooking = false;
     std::uint64_t _nextFlightId = 1;
     std::uint64_t _rebookedDeliveries = 0;
+    std::uint64_t _refusedDeliveries = 0;
+    std::uint64_t _quiescedFlights = 0;
+
+    /** Per-GPU down flags (see setDeviceDown). */
+    std::vector<char> _deadDevice;
     std::unordered_map<std::uint64_t, Flight> _flights;
 
     /** (channel, booking) -> flight id, per channel. */
@@ -317,6 +366,10 @@ class Interconnect
                                           std::uint64_t>> _hopIndex;
 
     void validate(const Request &req) const;
+
+    /** Fire every registered observer for one submission. */
+    void notifyObservers(const Request &req,
+                         const DeliverySample &sample);
 
     /** Apply @p f to every channel of the fabric. */
     void forEachChannel(const std::function<void(Channel &)> &f);

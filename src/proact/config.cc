@@ -190,6 +190,76 @@ envHealthPolicy()
     return policy;
 }
 
+namespace {
+
+/** Opt-in flag: off unless the variable is set to something != "0". */
+bool
+envFlagEnabled(const char *name)
+{
+    const char *env = std::getenv(name);
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+} // namespace
+
+bool
+envCheckpointEnabled()
+{
+    return envFlagEnabled("PROACT_CHECKPOINT");
+}
+
+CheckpointPolicy
+envCheckpointPolicy()
+{
+    CheckpointPolicy policy;
+    policy.enabled = envCheckpointEnabled();
+    policy.interval = static_cast<int>(
+        envDouble("PROACT_CHECKPOINT_INTERVAL",
+                  static_cast<double>(policy.interval), 1.0, 1e6));
+    const double cost_us = envDouble(
+        "PROACT_CHECKPOINT_COST_US",
+        static_cast<double>(policy.cost)
+            / static_cast<double>(ticksPerMicrosecond),
+        0.0, 1e9);
+    policy.cost = static_cast<Tick>(
+        cost_us * static_cast<double>(ticksPerMicrosecond));
+    return policy;
+}
+
+bool
+envDeviceHealthEnabled()
+{
+    return envFlagEnabled("PROACT_DEVICE_HEALTH");
+}
+
+DeviceHealthPolicy
+envDeviceHealthPolicy()
+{
+    DeviceHealthPolicy policy;
+    const double interval_us = envDouble(
+        "PROACT_DEVICE_HEALTH_INTERVAL_US",
+        static_cast<double>(policy.heartbeatInterval)
+            / static_cast<double>(ticksPerMicrosecond),
+        1.0, 1e6);
+    policy.heartbeatInterval = static_cast<Tick>(
+        interval_us * static_cast<double>(ticksPerMicrosecond));
+    policy.suspectAfterMisses = static_cast<int>(envDouble(
+        "PROACT_DEVICE_HEALTH_SUSPECT_MISSES",
+        static_cast<double>(policy.suspectAfterMisses), 1.0, 1e3));
+    policy.lostAfterMisses = static_cast<int>(envDouble(
+        "PROACT_DEVICE_HEALTH_LOST_MISSES",
+        static_cast<double>(policy.lostAfterMisses), 1.0, 1e3));
+    if (policy.suspectAfterMisses > policy.lostAfterMisses)
+        policy.suspectAfterMisses = policy.lostAfterMisses;
+    return policy;
+}
+
+bool
+envReprofileChargeEnabled()
+{
+    return envFlagEnabled("PROACT_REPROFILE_CHARGE");
+}
+
 RetryPolicy
 envRetryPolicy()
 {

@@ -13,6 +13,7 @@
 
 #include "faults/fault_plan.hh"
 #include "faults/retry.hh"
+#include "health/device_health.hh"
 #include "health/link_health.hh"
 #include "interconnect/rerouter.hh"
 #include "sim/types.hh"
@@ -70,6 +71,27 @@ struct TransferConfig
     {
         return mechanism != TransferMechanism::Inline;
     }
+};
+
+/**
+ * Iteration-boundary checkpointing. Region boundaries are the only
+ * points where no chunk is mid-flight (the paper's sys-scope release
+ * flushes all PROACT buffers there), so a checkpoint taken at one is
+ * consistent by construction — the runtime models it as a fixed cost
+ * charged to the simulated timeline every @c interval iterations.
+ * After a device loss, a job restarts from the latest checkpointed
+ * iteration (ProactRuntime::Options::firstIteration) instead of from
+ * zero.
+ */
+struct CheckpointPolicy
+{
+    bool enabled = false;
+
+    /** Iterations between checkpoints (>= 1). */
+    int interval = 1;
+
+    /** Simulated cost of writing one checkpoint. */
+    Tick cost = 50 * ticksPerMicrosecond;
 };
 
 /** Human-readable byte size (4kB, 1MB, ...). */
@@ -167,6 +189,45 @@ ReroutePolicy envReroutePolicy();
  * hysteresis gap re-established if the overrides inverted it).
  */
 HealthPolicy envHealthPolicy();
+/** @} */
+
+/** @{ @name Device-loss tolerance knobs
+ *
+ * All default OFF so existing golden timings are untouched:
+ *  - PROACT_CHECKPOINT=1              iteration-boundary checkpoints
+ *  - PROACT_CHECKPOINT_INTERVAL       iterations between checkpoints
+ *                                     (default 1, clamp [1, 1e6])
+ *  - PROACT_CHECKPOINT_COST_US        simulated microseconds per
+ *                                     checkpoint (default 50, clamp
+ *                                     [0, 1e9])
+ *  - PROACT_DEVICE_HEALTH=1           device heartbeat watchdog
+ *  - PROACT_DEVICE_HEALTH_INTERVAL_US heartbeat period (default 5,
+ *                                     clamp [1, 1e6])
+ *  - PROACT_DEVICE_HEALTH_SUSPECT_MISSES consecutive missed beats
+ *                                     before SUSPECT (default 1)
+ *  - PROACT_DEVICE_HEALTH_LOST_MISSES consecutive missed beats before
+ *                                     LOST (default 3)
+ *  - PROACT_REPROFILE_CHARGE=1        charge the adaptive reprofiler's
+ *                                     narrowed sweeps (and the fleet
+ *                                     elector's cache-miss sweeps) to
+ *                                     the simulated timeline
+ */
+
+/** Whether PROACT_CHECKPOINT enables checkpointing. */
+bool envCheckpointEnabled();
+
+/** Checkpoint policy from the environment (enabled iff
+ * envCheckpointEnabled()). */
+CheckpointPolicy envCheckpointPolicy();
+
+/** Whether PROACT_DEVICE_HEALTH enables the device watchdog. */
+bool envDeviceHealthEnabled();
+
+/** Watchdog thresholds from the environment. */
+DeviceHealthPolicy envDeviceHealthPolicy();
+
+/** Whether PROACT_REPROFILE_CHARGE charges online sweeps. */
+bool envReprofileChargeEnabled();
 /** @} */
 
 } // namespace proact

@@ -152,6 +152,7 @@ Profiler::profile(Workload &workload)
 
     for (std::size_t i = 0; i < candidates.size(); ++i) {
         result.entries.push_back({candidates[i], measured[i]});
+        result.sweepTicks += measured[i];
         if (measured[i] < best_ticks) {
             best_ticks = measured[i];
             result.best = candidates[i];
@@ -162,6 +163,7 @@ Profiler::profile(Workload &workload)
         TransferConfig config;
         config.mechanism = TransferMechanism::Inline;
         result.inlineTicks = measure(workload, config);
+        result.sweepTicks += result.inlineTicks;
         if (result.inlineTicks < best_ticks) {
             best_ticks = result.inlineTicks;
             result.best = config;

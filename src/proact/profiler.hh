@@ -51,6 +51,14 @@ struct ProfileResult
     /** Inline variant's runtime (always measured). */
     Tick inlineTicks = 0;
 
+    /**
+     * Total simulated ticks the sweep itself consumed (every
+     * candidate measurement, inline included). This is what an
+     * *online* sweep would cost if its transfers were charged to the
+     * live timeline — the adaptation-latency price of re-profiling.
+     */
+    Tick sweepTicks = 0;
+
     /** Every decoupled point measured, in sweep order. */
     std::vector<ProfileEntry> entries;
 

@@ -127,6 +127,11 @@ AdaptiveReprofiler::refresh()
     const ProfileResult result = profiler.profile(*workload);
     _stats.inc("reprofile.candidates",
                static_cast<double>(result.entries.size()));
+    _lastSweepCost = result.sweepTicks;
+    _stats.inc("reprofile.sweep_ticks",
+               static_cast<double>(result.sweepTicks));
+    if (_options.chargeTimeline)
+        _pendingCharge += result.sweepTicks;
 
     TransferConfig next = result.best;
     next.retry = _current.retry; // Policy is the runtime's, not swept.

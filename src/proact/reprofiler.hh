@@ -65,6 +65,17 @@ class AdaptiveReprofiler
          * where most of the fault adaptation lives.
          */
         std::vector<TransferMechanism> mechanisms;
+
+        /**
+         * Charge each narrowed sweep's simulated cost (the sum of
+         * its candidate measurements) to the live run's timeline:
+         * after a refresh the runtime stalls for lastSweepCost()
+         * ticks at the region boundary, exposing the
+         * adaptation-latency trade-off instead of re-profiling for
+         * free. Off by default (PROACT_REPROFILE_CHARGE enables it
+         * via env wiring); off preserves historical timings.
+         */
+        bool chargeTimeline = false;
     };
 
     /**
@@ -109,10 +120,27 @@ class AdaptiveReprofiler
     /** Whether a link-state change awaits the next refresh(). */
     bool dirty() const { return _dirty; }
 
+    /** Simulated cost of the most recent narrowed sweep. */
+    Tick lastSweepCost() const { return _lastSweepCost; }
+
+    /**
+     * Sweep cost accrued since the last consume (non-zero only with
+     * chargeTimeline). The runtime drains this at the region
+     * boundary and advances its timeline by the returned amount.
+     */
+    Tick
+    consumeChargeTicks()
+    {
+        const Tick charge = _pendingCharge;
+        _pendingCharge = 0;
+        return charge;
+    }
+
     /**
      * Stats: reprofile.sweeps (narrowed sweeps run), reprofile.swaps
      * (sweeps that changed the config), reprofile.candidates
-     * (configurations measured online).
+     * (configurations measured online), reprofile.sweep_ticks
+     * (simulated cost of all sweeps, charged or not).
      */
     StatSet &stats() { return _stats; }
     const StatSet &stats() const { return _stats; }
@@ -124,6 +152,8 @@ class AdaptiveReprofiler
     Options _options;
     StatSet _stats;
     bool _dirty = false;
+    Tick _lastSweepCost = 0;
+    Tick _pendingCharge = 0;
 
     Profiler::Options sweepOptions() const;
 };

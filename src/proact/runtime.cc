@@ -37,25 +37,99 @@ ProactRuntime::run(Workload &workload)
     int iterations = workload.numIterations();
     if (_options.maxIterations >= 0)
         iterations = std::min(iterations, _options.maxIterations);
+    if (_options.firstIteration < 0 ||
+        _options.firstIteration > iterations) {
+        fatalError("ProactRuntime: firstIteration ",
+                   _options.firstIteration, " outside [0, ",
+                   iterations, "]");
+    }
+    if (_options.checkpoint.enabled &&
+        _options.checkpoint.interval < 1) {
+        fatalError("ProactRuntime: checkpoint interval must be >= 1");
+    }
 
     const TrafficProfile traffic = workload.traffic();
     _atomicFanout = workload.footprintScale();
+    _completedIterations = _options.firstIteration;
     const Tick start = _system.now();
-    for (int iter = 0; iter < iterations; ++iter) {
+    for (int iter = _options.firstIteration; iter < iterations;
+         ++iter) {
         // Region boundary: adopt a re-profiled config before the next
         // iteration launches (mid-iteration state is never disturbed).
-        if (_options.reprofiler && _options.reprofiler->refresh()) {
-            _options.config = _options.reprofiler->current();
-            _stats.inc("config_swaps");
+        if (_options.reprofiler) {
+            if (_options.reprofiler->refresh()) {
+                _options.config = _options.reprofiler->current();
+                _stats.inc("config_swaps");
+            }
+            // When the reprofiler charges its narrowed sweep, the
+            // adaptation latency lands on this run's timeline — the
+            // run stalls at the boundary while the sweep's transfers
+            // would occupy the (idle) fabric. A sweep that ends up
+            // keeping the current config still cost its measurements,
+            // so the charge is consumed outside the refresh() branch.
+            const Tick charge =
+                _options.reprofiler->consumeChargeTicks();
+            if (charge > 0) {
+                _stats.inc("reprofile.charged_ticks",
+                           static_cast<double>(charge));
+                advanceTimeline(charge);
+            }
         }
         const Phase phase = workload.phase(iter);
         if (_system.numGpus() == 1)
             runPhaseSingleGpu(phase);
         else
             runPhase(phase, traffic);
+
+        // A device declared LOST mid-phase aborts at the boundary:
+        // the phase's surviving traffic drained (lost transfers were
+        // orphaned or quiesced), nothing new launches, and the caller
+        // restarts from the latest checkpoint on surviving GPUs.
+        if (_system.anyDeviceLost()) {
+            _aborted = true;
+            _lostGpu = _system.lostDevices().front();
+            _stats.inc("aborts");
+            break;
+        }
+
+        _completedIterations = iter + 1;
+        if (_options.checkpoint.enabled &&
+            (iter + 1) % _options.checkpoint.interval == 0) {
+            _checkpointIteration = iter;
+            ++_checkpoints;
+            _checkpointTicks += _options.checkpoint.cost;
+            _stats.inc("checkpoints");
+            _stats.inc("checkpoint_ticks",
+                       static_cast<double>(_options.checkpoint.cost));
+            advanceTimeline(_options.checkpoint.cost);
+        }
     }
-    _stats.set("iterations", iterations);
+    // A loss declared after the last boundary check (e.g. during the
+    // final checkpoint's drain) still poisons the run: iterations
+    // that overlapped the death ran with orphaned transfers, so the
+    // result cannot be trusted or verified. The caller restarts from
+    // the latest checkpoint as usual.
+    if (!_aborted && _system.anyDeviceLost()) {
+        _aborted = true;
+        _lostGpu = _system.lostDevices().front();
+        _stats.inc("aborts");
+    }
+    _stats.set("iterations",
+               _completedIterations - _options.firstIteration);
     return _system.now() - start;
+}
+
+void
+ProactRuntime::advanceTimeline(Tick cost)
+{
+    if (cost == 0)
+        return;
+    auto &eq = _system.eventQueue();
+    // Bounded drain: concurrent machinery (fault boundaries,
+    // watchdog beats) observes the span, but events past the window
+    // stay queued — a run() here would pull a far-future device-loss
+    // boundary into this checkpoint and distort the timeline.
+    eq.runUntil(eq.curTick() + cost);
 }
 
 void
@@ -99,6 +173,9 @@ ProactRuntime::runPhase(const Phase &phase,
     int kernels_remaining = n;
     Tick kernels_done = 0;
     Tick last_delivery = 0;
+    const double orphaned_before = _stats.get("transfers.orphaned");
+    const std::uint64_t refused_before =
+        _system.fabric().refusedDeliveries();
 
     auto on_delivered = [&](std::uint64_t bytes) {
         ++seen_deliveries;
@@ -197,14 +274,51 @@ ProactRuntime::runPhase(const Phase &phase,
         });
     }
 
-    eq.run();
+    if (_system.deviceHealth()) {
+        // Bounded drain under the device watchdog: stop once the
+        // phase's own work is accounted for (kernels done; every
+        // expected delivery seen, orphaned, or refused at a dead
+        // endpoint). A plain run() would also drain *future* fault
+        // boundaries — scheduled at absolute ticks when the plan was
+        // armed — dragging the clock to the loss tick inside the
+        // first phase, so a mid-run death would always abort at
+        // iteration 0 with no checkpointed progress to preserve.
+        // Background events left behind (heartbeats, boundaries,
+        // stale ack timeouts) fire during later phase or checkpoint
+        // drains at their proper ticks.
+        auto accounted = [&] {
+            const auto orphaned = static_cast<std::uint64_t>(
+                _stats.get("transfers.orphaned") - orphaned_before);
+            const std::uint64_t refused =
+                _system.fabric().refusedDeliveries() - refused_before;
+            return kernels_remaining == 0
+                && seen_deliveries + orphaned + refused
+                >= expected_deliveries;
+        };
+        while (!eq.empty() && !accounted())
+            eq.runNext();
+    } else {
+        eq.run();
+    }
 
-    if (seen_deliveries != expected_deliveries)
-        panicError("ProactRuntime: expected ", expected_deliveries,
-                   " deliveries, saw ", seen_deliveries);
-    if (kernels_remaining != 0)
-        panicError("ProactRuntime: ", kernels_remaining,
-                   " kernels never completed");
+    // A device loss legitimately leaves deliveries missing (orphaned
+    // or quiesced); the abort path in run() deals with it. A
+    // transient device-down window that never reached LOST also
+    // orphans transfers — those are accounted one-for-one, so the
+    // conservation law still closes. On a healthy system the
+    // invariants hold as ever.
+    if (!_system.anyDeviceLost()) {
+        const auto orphaned = static_cast<std::uint64_t>(
+            _stats.get("transfers.orphaned") - orphaned_before);
+        if (seen_deliveries + orphaned != expected_deliveries)
+            panicError("ProactRuntime: expected ",
+                       expected_deliveries, " deliveries, saw ",
+                       seen_deliveries, " (+", orphaned,
+                       " orphaned)");
+        if (kernels_remaining != 0)
+            panicError("ProactRuntime: ", kernels_remaining,
+                       " kernels never completed");
+    }
 
     if (last_delivery > kernels_done)
         _tailTicks += last_delivery - kernels_done;

@@ -54,9 +54,23 @@ class ProactRuntime : public Runtime
          * boundary; when a link-state change is pending, the
          * reprofiler's narrowed sweep runs and the winning config is
          * hot-swapped in for the following iterations (stat
-         * "config_swaps"). Not owned; may be nullptr.
+         * "config_swaps"). Not owned; may be nullptr. When the
+         * reprofiler charges its sweeps (chargeTimeline), the sweep
+         * cost advances this run's timeline too (stat
+         * "reprofile.charged_ticks").
          */
         AdaptiveReprofiler *reprofiler = nullptr;
+
+        /** Iteration-boundary checkpoints (see CheckpointPolicy). */
+        CheckpointPolicy checkpoint;
+
+        /**
+         * First iteration to execute (a recovery restart resumes at
+         * checkpointIteration + 1; fresh runs start at 0). Iterations
+         * before it are considered already done — they neither run
+         * nor checkpoint.
+         */
+        int firstIteration = 0;
     };
 
     ProactRuntime(MultiGpuSystem &system, Options options);
@@ -77,15 +91,50 @@ class ProactRuntime : public Runtime
      */
     Tick tailTicks() const { return _tailTicks; }
 
+    /**
+     * @{ @name Device-loss outcome
+     *
+     * When the system's device watchdog declares a GPU LOST, the run
+     * aborts at the next iteration boundary instead of panicking on
+     * the (correctly) missing deliveries: completed iterations stay
+     * completed, and the caller recovers from the latest checkpoint.
+     */
+    bool aborted() const { return _aborted; }
+
+    /** GPU whose loss aborted the run (-1 = none). */
+    int lostGpu() const { return _lostGpu; }
+
+    /** Iterations fully completed (includes resumed-past ones). */
+    int completedIterations() const { return _completedIterations; }
+
+    /** Latest checkpointed iteration (-1 = no checkpoint taken). */
+    int checkpointIteration() const { return _checkpointIteration; }
+
+    /** Checkpoints written this run. */
+    int checkpoints() const { return _checkpoints; }
+
+    /** Simulated ticks spent writing checkpoints this run. */
+    Tick checkpointTicks() const { return _checkpointTicks; }
+    /** @} */
+
   private:
     MultiGpuSystem &_system;
     Options _options;
     StatSet _stats;
     Tick _tailTicks = 0;
     std::uint64_t _atomicFanout = 1;
+    bool _aborted = false;
+    int _lostGpu = -1;
+    int _completedIterations = 0;
+    int _checkpointIteration = -1;
+    int _checkpoints = 0;
+    Tick _checkpointTicks = 0;
 
     void runPhase(const Phase &phase, const TrafficProfile &traffic);
     void runPhaseSingleGpu(const Phase &phase);
+
+    /** Charge @p cost to the simulated timeline and drain it. */
+    void advanceTimeline(Tick cost);
 };
 
 } // namespace proact

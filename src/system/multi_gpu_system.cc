@@ -39,7 +39,48 @@ MultiGpuSystem::installFaults(FaultPlan plan)
         _faults->addDmaEngine(g, *_dmas[g]);
     _faults->setTrace(_trace);
     _faults->arm();
+    wireDeviceWatchdog();
     return *_faults;
+}
+
+void
+MultiGpuSystem::wireDeviceWatchdog()
+{
+    if (!_faults || !_deviceHealth)
+        return;
+    // The watchdog discovers a death by sampling, but its heartbeat
+    // is only armed while the run is live; the injector's episode
+    // boundary re-arms it directly so a GpuDown window that opens in
+    // a quiet stretch is still discovered within the miss budget.
+    DeviceHealthMonitor *watchdog = _deviceHealth.get();
+    _faults->addDeviceDownListener(
+        [watchdog](int, Tick) { watchdog->poke(); });
+    _faults->addDeviceUpListener([watchdog](int) {
+        watchdog->poke();
+    });
+}
+
+DeviceHealthMonitor &
+MultiGpuSystem::enableDeviceHealth(DeviceHealthPolicy policy)
+{
+    if (!_deviceHealth) {
+        _deviceHealth = std::make_unique<DeviceHealthMonitor>(
+            _eq, *_fabric, policy);
+        // A LOST declaration quiesces the fabric and shadows the loss
+        // into the link monitor (forcing every touching link DOWN,
+        // which push-invalidates the rerouter's plan cache). External
+        // layers add their own listeners on top.
+        _deviceHealth->addListener(
+            [this](int gpu, DeviceState, DeviceState to) {
+                if (to != DeviceState::Lost)
+                    return;
+                _fabric->quiesceDevice(gpu);
+                if (_health)
+                    _health->markDeviceLost(gpu);
+            });
+        wireDeviceWatchdog();
+    }
+    return *_deviceHealth;
 }
 
 LinkHealthMonitor &
@@ -131,6 +172,16 @@ MultiGpuSystem::dumpStats(std::ostream &os)
         _health->stats().dump(os, "  ");
         for (const auto &t : _health->transitions())
             os << "  " << t.describe() << "\n";
+    }
+    if (_deviceHealth) {
+        os << "device_health:\n";
+        _deviceHealth->stats().dump(os, "  ");
+        for (const auto &t : _deviceHealth->transitions())
+            os << "  " << t.describe() << "\n";
+        os << "  fabric.refused_deliveries = "
+           << fabric.refusedDeliveries() << "\n";
+        os << "  fabric.quiesced_flights = "
+           << fabric.quiescedFlights() << "\n";
     }
     if (_rerouter) {
         os << "reroute:\n";

@@ -16,6 +16,7 @@
 #include "faults/fault_plan.hh"
 #include "gpu/dma_engine.hh"
 #include "gpu/gpu.hh"
+#include "health/device_health.hh"
 #include "health/link_health.hh"
 #include "interconnect/interconnect.hh"
 #include "interconnect/rerouter.hh"
@@ -122,6 +123,40 @@ class MultiGpuSystem
     LinkHealthMonitor *health() { return _health.get(); }
     const LinkHealthMonitor *health() const { return _health.get(); }
 
+    /**
+     * Start the whole-device watchdog (see device_health.hh). When a
+     * device is declared LOST the system reacts as one unit: the
+     * fabric quiesces every tracked in-flight transfer touching the
+     * device, and the link monitor (when enabled) marks every link
+     * touching it DOWN — which push-invalidates the rerouter's plan
+     * cache. External layers (the harness's abort path, the fleet's
+     * recovery policy) observe the same declaration via
+     * deviceHealth()->addListener. Idempotent; the first policy wins.
+     */
+    DeviceHealthMonitor &enableDeviceHealth(
+        DeviceHealthPolicy policy = {});
+
+    /** The device watchdog, or nullptr when disabled. */
+    DeviceHealthMonitor *deviceHealth() { return _deviceHealth.get(); }
+    const DeviceHealthMonitor *deviceHealth() const
+    {
+        return _deviceHealth.get();
+    }
+
+    /** GPUs declared LOST (empty when the watchdog is off). */
+    std::vector<int>
+    lostDevices() const
+    {
+        return _deviceHealth ? _deviceHealth->lostDevices()
+                             : std::vector<int>{};
+    }
+
+    bool
+    anyDeviceLost() const
+    {
+        return _deviceHealth && _deviceHealth->anyLost();
+    }
+
     /** The rerouter, or nullptr when disabled. */
     Rerouter *rerouter() { return _rerouter.get(); }
     const Rerouter *rerouter() const { return _rerouter.get(); }
@@ -156,9 +191,13 @@ class MultiGpuSystem
     std::vector<std::unique_ptr<DmaEngine>> _dmas;
     std::unique_ptr<FaultInjector> _faults;
     std::unique_ptr<LinkHealthMonitor> _health;
+    std::unique_ptr<DeviceHealthMonitor> _deviceHealth;
     std::unique_ptr<Rerouter> _rerouter;
     Host _host;
     Trace *_trace = nullptr;
+
+    /** Injector GpuDown boundaries re-arm the watchdog promptly. */
+    void wireDeviceWatchdog();
 };
 
 } // namespace proact

@@ -350,7 +350,7 @@ TEST_P(CongestionFuzz, DeliveryAttributionIdentityHolds)
     system.installFaults(std::move(plan));
 
     int samples = 0;
-    system.fabric().setDeliveryObserver(
+    system.fabric().addDeliveryObserver(
         [&samples](const Interconnect::Request &,
                    const Interconnect::DeliverySample &s) {
             ++samples;

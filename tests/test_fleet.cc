@@ -242,7 +242,7 @@ TEST(FleetSessionTest, DisjointPlacementIsolatesTenantFaults)
 
     FleetSession::Options faulty;
     faulty.placement = PlacementMode::Disjoint;
-    faulty.faultPlanFor = [](const JobSpec &job) {
+    faulty.faultPlanFor = [](const JobSpec &job, int) {
         FaultPlan plan;
         if (job.id == 0)
             plan.dropDeliveries(0, maxTick, 0.05);

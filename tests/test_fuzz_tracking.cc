@@ -7,6 +7,7 @@
  */
 
 #include "faults/fault_plan.hh"
+#include "health/device_health.hh"
 #include "interconnect/interconnect.hh"
 #include "interconnect/rerouter.hh"
 #include "proact/region.hh"
@@ -212,6 +213,91 @@ TEST_P(Dgx2FaultFuzz, ExactlyOnceDeliveryAndDeterministicReplay)
 
     const auto a = run_once(caseSeed());
     const auto b = run_once(caseSeed());
+    EXPECT_EQ(a, b) << "case " << GetParam()
+                    << " did not replay deterministically";
+}
+
+TEST_P(Dgx2FaultFuzz, MixedDeviceLossAndFlappingLeaveNoFlights)
+{
+    // Link flapping and a mid-run device death in one campaign: the
+    // retry layer keeps working the flapping links while the watchdog
+    // declares the victim LOST and the fabric quiesces it. Whatever
+    // the seed draws, every tracked in-flight request must end the
+    // run delivered, rebooked or quiesced — never leaked — and the
+    // whole run must replay tick-for-tick.
+    auto run_once = [](std::uint64_t seed) {
+        MultiGpuSystem system(dgx2Platform());
+        system.setFunctional(false);
+        system.enableHealth();
+        system.enableReroute();
+        system.fabric().setRebooking(true);
+        system.enableDeviceHealth({});
+
+        LinkLifecycleOptions flaps;
+        flaps.downProbability = 0.5;
+        FaultPlan plan =
+            mtbfFaultPlan(seed, system.numGpus(), 4, flaps);
+        Rng rng(deriveSeed(seed, 0xdeadu));
+        const int victim = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(system.numGpus())));
+        const Tick death =
+            (40 + rng.below(160)) * ticksPerMicrosecond;
+        plan.downGpu(death, maxTick, victim);
+        system.installFaults(std::move(plan));
+
+        StatSet stats;
+        int deliveries = 0;
+        Tick last = 0;
+        TransferAgent::Context ctx;
+        ctx.system = &system;
+        ctx.gpuId = 0;
+        ctx.config.mechanism = TransferMechanism::Polling;
+        ctx.config.chunkBytes = 64 * KiB;
+        ctx.config.transferThreads = 2048;
+        ctx.config.retry.enabled = true;
+        ctx.config.retry.maxAttempts = 6;
+        ctx.config.retry.rerouteAfterAttempts = 2;
+        ctx.stats = &stats;
+        ctx.onDelivered = [&deliveries, &last,
+                           &system](std::uint64_t) {
+            ++deliveries;
+            last = system.now();
+        };
+        PollingAgent agent(ctx);
+
+        const int chunks = 6;
+        auto &eq = system.eventQueue();
+        for (int c = 0; c < chunks; ++c) {
+            eq.schedule(
+                static_cast<Tick>(c) * 40 * ticksPerMicrosecond,
+                [&agent, c] { agent.chunkReady(c, 64 * KiB); });
+        }
+        system.run();
+
+        const Interconnect &fabric = system.fabric();
+
+        // The death is unconditional and the horizon unbounded, so
+        // the watchdog must have declared the victim by drain time.
+        EXPECT_TRUE(system.anyDeviceLost()) << "seed " << seed;
+
+        // No leaked flying requests: after the quiesce every tracked
+        // flight was delivered, rebooked or explicitly aborted.
+        EXPECT_EQ(fabric.numTrackedFlights(), 0u) << "seed " << seed;
+
+        // A dead endpoint only loses traffic through the accounted
+        // paths; survivors still deliver at most exactly-once.
+        EXPECT_LE(deliveries, chunks * (system.numGpus() - 1))
+            << "seed " << seed;
+
+        return std::make_tuple(
+            last, deliveries, stats.get("transfers.retried"),
+            stats.get("transfers.orphaned"),
+            fabric.refusedDeliveries(), fabric.quiescedFlights(),
+            system.deviceHealth()->transitions().size());
+    };
+
+    const auto a = run_once(deriveSeed(caseSeed(), 1));
+    const auto b = run_once(deriveSeed(caseSeed(), 1));
     EXPECT_EQ(a, b) << "case " << GetParam()
                     << " did not replay deterministically";
 }
