@@ -20,7 +20,7 @@ TransferAgent::pushToPeers(std::uint64_t bytes, Tick not_before,
                            std::uint32_t threads)
 {
     auto &system = *_ctx.system;
-    auto &eq = system.eventQueue();
+    auto &eq = queue();
     const Tick start = std::max(eq.curTick(), not_before);
     Tick last = start;
 
@@ -119,7 +119,7 @@ PollingAgent::schedulePoll()
         return;
     _pollScheduled = true;
 
-    auto &eq = _ctx.system->eventQueue();
+    auto &eq = queue();
     const Tick interval =
         _ctx.system->gpu(_ctx.gpuId).spec().pollInterval;
     // Discovery happens at the poll loop's next pass over the bitmap.
@@ -136,7 +136,7 @@ PollingAgent::poll()
         const std::uint64_t bytes = _pendingBytes.front();
         _pendingBytes.pop_front();
         const Tick start =
-            std::max(_ctx.system->now(), _nextFree) + chunkSetupCost;
+            std::max(queue().curTick(), _nextFree) + chunkSetupCost;
         _nextFree = start;
         pushToPeers(bytes, start, _ctx.config.transferThreads);
     }
@@ -177,7 +177,7 @@ void
 CdpAgent::dispatch(std::uint64_t bytes, bool windowed)
 {
     auto &system = *_ctx.system;
-    auto &eq = system.eventQueue();
+    auto &eq = queue();
     auto &gpu = system.gpu(_ctx.gpuId);
     const GpuSpec &spec = gpu.spec();
 
@@ -212,7 +212,7 @@ HardwareAgent::chunkReady(int /*chunk*/, std::uint64_t bytes)
     bumpStat("hw_triggers");
     // Dedicated engine: descriptor prepared in advance, trigger fires
     // without SM or driver involvement.
-    pushToPeers(bytes, _ctx.system->now() + triggerLatency, 0);
+    pushToPeers(bytes, queue().curTick() + triggerLatency, 0);
 }
 
 std::unique_ptr<TransferAgent>

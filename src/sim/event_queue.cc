@@ -239,4 +239,12 @@ EventQueue::runUntilBefore(Tick end)
     return ran;
 }
 
+void
+EventQueue::advanceTo(Tick tick)
+{
+    tick = std::min(tick, nextEventTick());
+    if (tick > _curTick)
+        _curTick = tick;
+}
+
 } // namespace proact

@@ -2,9 +2,34 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 namespace proact {
+
+namespace {
+
+/** Window context of the calling thread (set while dispatching a
+ * shard's window; -1/nullptr in serial context). */
+thread_local int tl_shard = -1;
+thread_local EventQueue *tl_queue = nullptr;
+
+struct ShardContext
+{
+    ShardContext(int shard, EventQueue *queue)
+    {
+        tl_shard = shard;
+        tl_queue = queue;
+    }
+
+    ~ShardContext()
+    {
+        tl_shard = -1;
+        tl_queue = nullptr;
+    }
+};
+
+} // namespace
 
 int
 envSimShards()
@@ -16,6 +41,18 @@ envSimShards()
     if (v <= 1)
         return 0;
     return static_cast<int>(std::min<long>(v, 64));
+}
+
+int
+ShardedEventEngine::currentShard()
+{
+    return tl_shard;
+}
+
+EventQueue *
+ShardedEventEngine::currentQueue()
+{
+    return tl_queue;
 }
 
 ShardedEventEngine::ShardedEventEngine(Options options)
@@ -66,7 +103,7 @@ ShardedEventEngine::mergedStats() const
 std::uint64_t
 ShardedEventEngine::dispatchedEvents() const
 {
-    std::uint64_t total = 0;
+    std::uint64_t total = _global.dispatchedEvents();
     for (const auto &shard : _shards)
         total += shard->queue.dispatchedEvents();
     return total;
@@ -81,6 +118,63 @@ ShardedEventEngine::maxShardTick() const
     return latest;
 }
 
+bool
+ShardedEventEngine::shardEventsPending() const
+{
+    if (!_serialOutbox.empty())
+        return true;
+    for (const auto &shard : _shards) {
+        if (!shard->queue.empty() || !shard->outbox.empty())
+            return true;
+    }
+    return false;
+}
+
+void
+ShardedEventEngine::setStreamCount(int streams)
+{
+    if (streams < 0)
+        throw std::invalid_argument(
+            "ShardedEventEngine: negative stream count");
+    _streamSeq.assign(static_cast<std::size_t>(streams), 0);
+}
+
+void
+ShardedEventEngine::addBarrierHook(std::function<void()> hook)
+{
+    _barrierHooks.push_back(std::move(hook));
+}
+
+void
+ShardedEventEngine::enforceContract(int from, int to, Tick when) const
+{
+    if (!_inWindow)
+        return;
+    const Tick end = _windowEnd.load(std::memory_order_relaxed);
+    if (when >= end)
+        return;
+    // The model broke the conservative contract: a cross-shard
+    // effect inside the executing window could race a shard that
+    // already passed @p when. Name the offending edge — the fix is
+    // lowering the lookahead or raising the model's minimum
+    // cross-shard delay on exactly this path.
+    std::ostringstream oss;
+    oss << "ShardedEventEngine: cross-shard post inside the "
+           "lookahead window: from shard "
+        << from << " to shard " << to << " at when=" << when
+        << " < window end=" << end;
+    throw std::logic_error(oss.str());
+}
+
+void
+ShardedEventEngine::stageMail(int outbox_shard, Mail mail)
+{
+    if (outbox_shard >= 0)
+        _shards[outbox_shard]->outbox.push_back(std::move(mail));
+    else
+        _serialOutbox.push_back(std::move(mail));
+}
+
 void
 ShardedEventEngine::post(int from, int to, Tick when,
                          EventQueue::Callback cb, int priority)
@@ -88,18 +182,7 @@ ShardedEventEngine::post(int from, int to, Tick when,
     if (from < 0 || from >= numShards() || to < 0 || to >= numShards())
         throw std::out_of_range("ShardedEventEngine: bad shard index");
 
-    if (_inWindow) {
-        const Tick end = _windowEnd.load(std::memory_order_relaxed);
-        if (when < end) {
-            // The model broke the conservative contract: a cross-shard
-            // effect inside the executing window could race a shard
-            // that already passed @p when. Lower the lookahead (or fix
-            // the model's minimum cross-shard delay).
-            throw std::logic_error(
-                "ShardedEventEngine: cross-shard post inside the "
-                "lookahead window (when < windowEnd)");
-        }
-    }
+    enforceContract(from, to, when);
 
     Shard &src = *_shards[from];
     src.outbox.push_back(Mail{when, static_cast<std::int32_t>(priority),
@@ -109,18 +192,45 @@ ShardedEventEngine::post(int from, int to, Tick when,
 }
 
 void
+ShardedEventEngine::postStream(int stream, int to, Tick when,
+                               EventQueue::Callback cb, int priority)
+{
+    if (stream < 0
+        || stream >= static_cast<int>(_streamSeq.size()))
+        throw std::out_of_range(
+            "ShardedEventEngine: bad post stream (setStreamCount)");
+    if (to != GlobalTarget && (to < 0 || to >= numShards()))
+        throw std::out_of_range("ShardedEventEngine: bad shard index");
+
+    enforceContract(tl_shard, to, when);
+
+    // Streams occupy key space above the shard ids so models mixing
+    // post() and postStream() still merge in one total order.
+    Mail mail{when, static_cast<std::int32_t>(priority),
+              static_cast<std::int32_t>(numShards() + stream),
+              static_cast<std::int32_t>(to),
+              _streamSeq[static_cast<std::size_t>(stream)]++,
+              std::move(cb)};
+    stageMail(tl_shard, std::move(mail));
+}
+
+void
 ShardedEventEngine::deliverMail()
 {
-    // Gather, then order by (when, priority, from, fromSeq): a total
-    // order independent of which worker ran which shard, so target
+    // Gather, then order by (when, priority, stream, seq): a total
+    // order independent of which worker ran which shard — and, for
+    // stream-keyed posts, independent of the shard count — so target
     // queues assign local sequence numbers identically no matter the
-    // interleaving.
+    // interleaving or binding.
     std::vector<Mail> mail;
     for (const auto &shard : _shards) {
         for (Mail &m : shard->outbox)
             mail.push_back(std::move(m));
         shard->outbox.clear();
     }
+    for (Mail &m : _serialOutbox)
+        mail.push_back(std::move(m));
+    _serialOutbox.clear();
     if (mail.empty())
         return;
 
@@ -130,14 +240,16 @@ ShardedEventEngine::deliverMail()
                       return a.when < b.when;
                   if (a.priority != b.priority)
                       return a.priority < b.priority;
-                  if (a.from != b.from)
-                      return a.from < b.from;
-                  return a.fromSeq < b.fromSeq;
+                  if (a.stream != b.stream)
+                      return a.stream < b.stream;
+                  return a.seq < b.seq;
               });
 
     for (Mail &m : mail) {
-        _shards[m.to]->queue.schedule(m.when, std::move(m.cb),
-                                      m.priority);
+        EventQueue &target = m.to == GlobalTarget
+            ? _global
+            : _shards[m.to]->queue;
+        target.schedule(m.when, std::move(m.cb), m.priority);
         ++_posted;
     }
 }
@@ -150,8 +262,10 @@ ShardedEventEngine::processWork(Tick end)
             _nextWork.fetch_add(1, std::memory_order_relaxed);
         if (i >= _workList.size())
             break;
+        const int s = _workList[i];
+        ShardContext context(s, &_shards[s]->queue);
         try {
-            _shards[_workList[i]]->queue.runUntilBefore(end);
+            _shards[s]->queue.runUntilBefore(end);
         } catch (...) {
             // The first exception resurfaces from run() after the
             // window; meanwhile keep draining claims so the window
@@ -199,8 +313,10 @@ ShardedEventEngine::executeWindow(Tick end)
     // thread. This is the sequential reference the determinism
     // battery compares the pool against.
     if (_workers <= 1 || _workList.size() <= 1) {
-        for (const int s : _workList)
+        for (const int s : _workList) {
+            ShardContext context(s, &_shards[s]->queue);
             _shards[s]->queue.runUntilBefore(end);
+        }
         return;
     }
 
@@ -237,24 +353,65 @@ ShardedEventEngine::executeWindow(Tick end)
 void
 ShardedEventEngine::run()
 {
+    runCore(maxTick, nullptr);
+}
+
+void
+ShardedEventEngine::runWhile(const std::function<bool()> &pred)
+{
+    runCore(maxTick, &pred);
+}
+
+void
+ShardedEventEngine::runUntil(Tick limit)
+{
+    runCore(limit, nullptr);
+}
+
+void
+ShardedEventEngine::runCore(Tick limit,
+                            const std::function<bool()> *pred)
+{
     for (;;) {
+        if (pred && !(*pred)())
+            break;
+
         // Posts made outside any window (model setup, previous
-        // barriers) land before the next window is chosen.
+        // barriers, global events) land before the next window is
+        // chosen.
         deliverMail();
 
         Tick start = maxTick;
-        _workList.clear();
-        for (int s = 0; s < numShards(); ++s)
-            start = std::min(start, _shards[s]->queue.nextEventTick());
-        if (start == maxTick)
-            break; // Every shard drained, no mail outstanding.
+        for (const auto &shard : _shards)
+            start = std::min(start, shard->queue.nextEventTick());
+
+        // Global control events run serially whenever they are due
+        // at or before the earliest shard event; events landing
+        // inside a window quantize to the next barrier. Shard clocks
+        // are pulled up first so synchronous model calls from global
+        // context (probe bookings, launches) read a sane "now".
+        const Tick due = _global.nextEventTick();
+        if (due <= start) {
+            if (due == maxTick || due > limit)
+                break;
+            for (const auto &shard : _shards)
+                shard->queue.advanceTo(due);
+            while (_global.nextEventTick() == due)
+                _global.runNext();
+            continue;
+        }
+        if (start > limit)
+            break;
 
         Tick end;
         if (_opts.lookahead == 0 || start >= maxTick - _opts.lookahead)
             end = start + 1;
         else
             end = start + _opts.lookahead;
+        if (limit != maxTick)
+            end = std::min(end, limit + 1);
 
+        _workList.clear();
         for (int s = 0; s < numShards(); ++s) {
             if (_shards[s]->queue.nextEventTick() < end)
                 _workList.push_back(s);
@@ -266,6 +423,16 @@ ShardedEventEngine::run()
         _inWindow = false;
         _windowEnd.store(0, std::memory_order_relaxed);
         ++_windows;
+
+        // Barrier floor: idle shard clocks (and the global clock)
+        // advance to the window start so cross-object calls made
+        // serially at the barrier never book into a stale past.
+        for (const auto &shard : _shards)
+            shard->queue.advanceTo(start);
+        _global.advanceTo(start);
+
+        for (const auto &hook : _barrierHooks)
+            hook();
     }
 }
 

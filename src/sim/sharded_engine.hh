@@ -19,14 +19,26 @@
  * to the source shard's outbox, and all outboxes are merged at the
  * window barrier in a deterministic order:
  *
- *   (when, priority, source shard, source post-sequence)
+ *   (when, priority, stream, stream post-sequence)
  *
- * Because cross-shard effects always land at or after the window end
- * (the conservative contract, enforced at post() time), the execution
- * and the merge are independent of worker interleaving: running with
- * 1 worker or N workers produces bit-identical event orders, shard
- * clocks and statistics. That property is the determinism gate the
- * `ctest -L pdes` battery checks.
+ * where the stream defaults to the posting shard (post()) or is a
+ * caller-chosen id (postStream()) — e.g. the source GPU — so the
+ * merge order survives re-binding the same model to a different
+ * shard count. Because cross-shard effects always land at or after
+ * the window end (the conservative contract, enforced at post time),
+ * the execution and the merge are independent of worker
+ * interleaving: running with 1 worker or N workers produces
+ * bit-identical event orders, shard clocks and statistics. That
+ * property is the determinism gate the `ctest -L pdes` battery
+ * checks.
+ *
+ * Besides the shards the engine owns a serial *global* control queue
+ * for machinery that is not bound to any one shard (fault episode
+ * boundaries, watchdog heartbeats, health probes). Global events run
+ * between windows, whenever their tick is at or before the earliest
+ * shard event; events falling inside a window quantize to the next
+ * barrier — deterministically, since the window sequence depends
+ * only on the global event set.
  *
  * Hot shared structures are per-shard by construction — each shard
  * owns its EventQueue, its StatSet (merged on read), and whatever
@@ -35,9 +47,9 @@
  *
  * The model contract:
  *  - Shard-local state is touched only by callbacks running on that
- *    shard's queue.
- *  - Cross-shard interaction goes through post() with a delay of at
- *    least the engine lookahead.
+ *    shard's queue (or serially between windows).
+ *  - Cross-shard interaction goes through post()/postStream() with a
+ *    delay of at least the engine lookahead.
  */
 
 #ifndef PROACT_SIM_SHARDED_ENGINE_HH
@@ -51,6 +63,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -62,7 +75,8 @@ namespace proact {
  * Worker count requested by PROACT_SIM_SHARDS (0/unset/1 =
  * sequential, clamped to [0, 64]). The knob gates every parallel path
  * in the tree — sharded event execution here, parallel profiler
- * sweeps above — and defaults to off so plain runs stay serial.
+ * sweeps above, sharded paradigm executions in Session product runs —
+ * and defaults to off so plain runs stay serial.
  */
 int envSimShards();
 
@@ -70,6 +84,9 @@ int envSimShards();
 class ShardedEventEngine
 {
   public:
+    /** postStream() target meaning "the global control queue". */
+    static constexpr int GlobalTarget = -1;
+
     struct Options
     {
         /** Shard count (>= 1); one serial event core per shard. */
@@ -102,6 +119,16 @@ class ShardedEventEngine
     /** Serial event core of shard @p s; schedule shard-local events
      * directly on it (model setup and intra-shard traffic). */
     EventQueue &shard(int s) { return _shards[s]->queue; }
+    const EventQueue &shard(int s) const { return _shards[s]->queue; }
+
+    /**
+     * Serial control queue for machinery not bound to any shard
+     * (fault boundaries, heartbeats, probes). Its events run between
+     * windows; events landing inside a window quantize to the next
+     * barrier.
+     */
+    EventQueue &global() { return _global; }
+    const EventQueue &global() const { return _global; }
 
     /** Contention-free per-shard statistics. */
     StatSet &stats(int s) { return _shards[s]->stats; }
@@ -113,14 +140,61 @@ class ShardedEventEngine
      * Schedule @p cb on shard @p to at absolute tick @p when from
      * shard @p from. Inside a running window @p when must be >= the
      * window end (the conservative contract) or a PanicError-style
-     * logic_error is thrown; at the barrier all posts are merged
-     * deterministically by (when, priority, from, fromSeq).
+     * logic_error naming the offending edge is thrown; at the barrier
+     * all posts are merged deterministically by
+     * (when, priority, from, fromSeq).
      */
     void post(int from, int to, Tick when, EventQueue::Callback cb,
               int priority = 0);
 
+    /**
+     * Number of independent post streams for postStream(). A stream
+     * is a merge-order key that survives re-binding the model to a
+     * different shard count (e.g. one stream per source GPU). Each
+     * stream must have a single writer: the shard its owner is bound
+     * to (or serial code between windows).
+     */
+    void setStreamCount(int streams);
+
+    /**
+     * Cross-shard post keyed by @p stream instead of the posting
+     * shard: mail merges by (when, priority, stream, stream seq), so
+     * two runs that bind the same streams to different shard counts
+     * deliver identical orders. @p to may be GlobalTarget to land on
+     * the global control queue. The posting shard is taken from the
+     * calling thread's window context (serial context stages into a
+     * dedicated outbox). The same conservative contract as post()
+     * applies.
+     */
+    void postStream(int stream, int to, Tick when,
+                    EventQueue::Callback cb, int priority = 0);
+
+    /**
+     * Register a hook run serially at every window barrier (after
+     * the window's shards finish, before the next window is chosen).
+     * Used to drain deferred cross-shard work that must run in a
+     * deterministic serial order — e.g. fabric delivery-observer
+     * dispatch.
+     */
+    void addBarrierHook(std::function<void()> hook);
+
     /** Run windows until every shard drains and no mail remains. */
     void run();
+
+    /**
+     * Run windows while @p pred holds. The predicate is evaluated
+     * serially at each barrier (and before the first window), so the
+     * stop is window-quantized — the sharded analogue of the serial
+     * "drain until accounted" loop.
+     */
+    void runWhile(const std::function<bool()> &pred);
+
+    /**
+     * Run every event with tick <= @p limit (windows are clamped at
+     * the limit), then stop. Events beyond the limit stay queued —
+     * the sharded analogue of EventQueue::runUntil's bounded drain.
+     */
+    void runUntil(Tick limit);
 
     /** End (exclusive) of the window currently executing; 0 when no
      * window is in flight. */
@@ -129,7 +203,8 @@ class ShardedEventEngine
         return _windowEnd.load(std::memory_order_relaxed);
     }
 
-    /** Total events dispatched across all shards. */
+    /** Total events dispatched across all shards and the global
+     * control queue. */
     std::uint64_t dispatchedEvents() const;
 
     /** Cross-shard messages delivered at barriers so far. */
@@ -142,15 +217,32 @@ class ShardedEventEngine
      * windows; individual shard clocks may trail it). */
     Tick maxShardTick() const;
 
+    /** Whether any shard still holds live events or undelivered
+     * mail (excludes the global queue — self-re-arming control
+     * machinery uses this as its liveness probe). */
+    bool shardEventsPending() const;
+
+    /**
+     * Shard whose window the calling thread is currently executing,
+     * or -1 in serial context (barriers, global events, setup).
+     * Models use it to pick per-shard statistic sinks and to read
+     * the executing queue's clock without holding a queue reference.
+     */
+    static int currentShard();
+
+    /** Queue the calling thread is currently dispatching from, or
+     * nullptr in serial context. */
+    static EventQueue *currentQueue();
+
   private:
     /** One cross-shard message awaiting its window barrier. */
     struct Mail
     {
         Tick when;
         std::int32_t priority;
-        std::int32_t from;
-        std::int32_t to;
-        std::uint64_t fromSeq;
+        std::int32_t stream; ///< Merge-order stream (see postStream).
+        std::int32_t to;     ///< Target shard, or GlobalTarget.
+        std::uint64_t seq;   ///< Per-stream post sequence.
         EventQueue::Callback cb;
     };
 
@@ -166,15 +258,22 @@ class ShardedEventEngine
         std::uint64_t postSeq = 0;
     };
 
+    void stageMail(int outbox_shard, Mail mail);
+    void enforceContract(int from, int to, Tick when) const;
     void deliverMail();
     void executeWindow(Tick end);
     void processWork(Tick end);
     void checkOut();
     void workerLoop();
+    void runCore(Tick limit, const std::function<bool()> *pred);
 
     Options _opts;
     int _workers = 1;
     std::vector<std::unique_ptr<Shard>> _shards;
+    EventQueue _global;
+    std::vector<Mail> _serialOutbox; ///< Posts from serial context.
+    std::vector<std::uint64_t> _streamSeq;
+    std::vector<std::function<void()>> _barrierHooks;
 
     std::atomic<Tick> _windowEnd{0};
     bool _inWindow = false;

@@ -247,43 +247,6 @@ TEST(Interconnect, ObserverListAllFireAndRemoveByHandle)
     EXPECT_EQ(fab.numDeliveryObservers(), 1u);
 }
 
-TEST(Interconnect, DeprecatedShimOwnsOneSlotAlongsideList)
-{
-    EventQueue eq;
-    Interconnect fab(eq, nvlink2Fabric(), 2);
-    int list_calls = 0;
-    int shim_calls = 0;
-    fab.addDeliveryObserver(
-        [&](const Interconnect::Request &,
-            const Interconnect::DeliverySample &) { ++list_calls; });
-    fab.setDeliveryObserver(
-        [&](const Interconnect::Request &,
-            const Interconnect::DeliverySample &) { ++shim_calls; });
-    EXPECT_EQ(fab.numDeliveryObservers(), 2u);
-
-    fab.transfer(request(0, 1, 1024));
-    EXPECT_EQ(list_calls, 1);
-    EXPECT_EQ(shim_calls, 1);
-
-    // Re-setting the shim replaces only its own slot.
-    int replaced = 0;
-    fab.setDeliveryObserver(
-        [&](const Interconnect::Request &,
-            const Interconnect::DeliverySample &) { ++replaced; });
-    EXPECT_EQ(fab.numDeliveryObservers(), 2u);
-    fab.transfer(request(0, 1, 1024));
-    EXPECT_EQ(list_calls, 2);
-    EXPECT_EQ(shim_calls, 1);
-    EXPECT_EQ(replaced, 1);
-
-    // Clearing the shim leaves list observers intact.
-    fab.setDeliveryObserver(nullptr);
-    EXPECT_EQ(fab.numDeliveryObservers(), 1u);
-    fab.transfer(request(0, 1, 1024));
-    EXPECT_EQ(list_calls, 3);
-    EXPECT_EQ(replaced, 1);
-}
-
 TEST(Interconnect, ObserverMayRemoveItselfMidDispatch)
 {
     EventQueue eq;

@@ -13,8 +13,12 @@
 
 #include "sim/sharded_engine.hh"
 
+#include "faults/fault_plan.hh"
 #include "harness/session.hh"
 #include "proact/profiler.hh"
+#include "proact/runtime.hh"
+#include "sim/random.hh"
+#include "system/multi_gpu_system.hh"
 #include "system/platform.hh"
 #include "tests/small_workloads.hh"
 
@@ -200,6 +204,30 @@ TEST(ShardedEngine, PostInsideWindowBelowLookaheadThrows)
     EXPECT_THROW(engine.run(), std::logic_error);
 }
 
+TEST(ShardedEngine, ContractViolationNamesOffendingEdge)
+{
+    // The rejection must carry enough to act on: which edge broke the
+    // contract and by how much (the fix is lowering the lookahead or
+    // raising the model's minimum delay on exactly that path).
+    ShardedEventEngine engine(
+        ShardedEventEngine::Options{2, 1000, 1});
+    engine.shard(0).schedule(10, [&] {
+        engine.post(0, 1, engine.shard(0).curTick() + 1, [] {});
+    });
+    try {
+        engine.run();
+        FAIL() << "lookahead violation was not rejected";
+    } catch (const std::logic_error &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("from shard 0"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("to shard 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("when=11"), std::string::npos) << what;
+        EXPECT_NE(what.find("window end=1010"), std::string::npos)
+            << what;
+    }
+}
+
 TEST(ShardedEngine, PostAtWindowEndIsAccepted)
 {
     ShardedEventEngine engine(
@@ -377,5 +405,228 @@ TEST(PdesSession, CompareParadigmsBitIdenticalUnderEnvShards)
         EXPECT_EQ(serial[i].payloadBytes, sharded[i].payloadBytes);
         EXPECT_EQ(serial[i].storeTransactions,
                   sharded[i].storeTransactions);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paradigm-execution determinism battery: the headline gate of the
+// sharded execution loop. Every run below goes through the product
+// path (Session::RunOptions::simShards); the 1-shard engine is the
+// reference and every higher shard count must reproduce it bit for
+// bit — stats, summaries and fault counters alike.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/**
+ * The battery machine: voltaPlatform() models NVLink2 as shared
+ * ports, which (correctly) degrades sharding to serial — there is no
+ * per-pair channel to bind to a shard. Switching the same machine to
+ * pairwise links makes the conservative contract satisfiable, so the
+ * engine actually engages and the gate means something.
+ */
+PlatformSpec
+pairwiseVolta()
+{
+    PlatformSpec platform = voltaPlatform();
+    platform.fabric.topology = FabricTopology::PairwiseLinks;
+    return platform;
+}
+
+/** All four transfer mechanisms and the paradigm each rides on. */
+struct MechanismCase
+{
+    TransferMechanism mechanism;
+    Paradigm paradigm;
+};
+
+constexpr MechanismCase kMechanisms[] = {
+    {TransferMechanism::Inline, Paradigm::ProactInline},
+    {TransferMechanism::Polling, Paradigm::ProactDecoupled},
+    {TransferMechanism::Cdp, Paradigm::ProactDecoupled},
+    {TransferMechanism::Hardware, Paradigm::ProactDecoupled},
+};
+
+/** Every ParadigmRun field (and the summary line) in one string. */
+std::string
+runDigest(const ParadigmRun &r)
+{
+    std::ostringstream os;
+    os << "ticks=" << r.ticks << " wire=" << r.wireBytes
+       << " payload=" << r.payloadBytes
+       << " stores=" << r.storeTransactions
+       << " dropped=" << r.faultsDropped << " retries=" << r.retries
+       << " fallbacks=" << r.fallbacks
+       << " transitions=" << r.linkTransitions << "/"
+       << r.wireTransitions << " congested=" << r.congestionEvents
+       << " reroutes=" << r.reroutes << " swaps=" << r.configSwaps
+       << " aborted=" << r.aborted << " lost=" << r.lostGpu
+       << " iters=" << r.completedIterations
+       << " ckpt=" << r.checkpointIteration << "/" << r.checkpoints
+       << "/" << r.checkpointTicks
+       << " refused=" << r.refusedDeliveries
+       << " quiesced=" << r.quiescedFlights
+       << " orphaned=" << r.orphanedTransfers << " ["
+       << r.faultSummary() << "]";
+    return os.str();
+}
+
+Session::RunOptions
+batteryOptions(TransferMechanism mechanism, int shards)
+{
+    Session::RunOptions options;
+    options.functional = false;
+    options.config.mechanism = mechanism;
+    options.config.chunkBytes = 64 * KiB;
+    options.config.transferThreads = 2048;
+    options.simShards = shards;
+    return options;
+}
+
+} // namespace
+
+TEST(PdesParadigm, EveryWorkloadAndMechanismBitIdenticalAcrossShards)
+{
+    Session session(pairwiseVolta());
+    const int gpus = session.platform().numGpus;
+    for (const std::string &name : test::smallWorkloadNames()) {
+        for (const MechanismCase &mc : kMechanisms) {
+            auto run_once = [&](int shards) {
+                auto workload = test::makeSmallWorkload(name);
+                workload->setup(gpus);
+                return runDigest(session.run(
+                    *workload, mc.paradigm,
+                    batteryOptions(mc.mechanism, shards)));
+            };
+            const std::string ref = run_once(1);
+            for (const int shards : {2, 4, 8}) {
+                EXPECT_EQ(ref, run_once(shards))
+                    << name << " under "
+                    << mechanismName(mc.mechanism) << " at "
+                    << shards << " shards";
+            }
+        }
+    }
+}
+
+TEST(PdesParadigm, FaultedReroutedRunsBitIdenticalAcrossShards)
+{
+    // Same gate with the whole fault-adaptive stack live: a seeded
+    // random fault plan, the retry ladder, link health classification
+    // and rerouting, and the device watchdog all running inside the
+    // sharded engine. Retries and reroutes are exactly the paths that
+    // cross shards, so this is where nondeterminism would surface.
+    Session session(pairwiseVolta());
+    const int gpus = session.platform().numGpus;
+    int mech_index = 0;
+    for (const MechanismCase &mc : kMechanisms) {
+        const std::uint64_t seed = deriveSeed(
+            0x70646573u, static_cast<std::uint64_t>(mech_index++));
+        auto run_once = [&](int shards) {
+            auto workload = test::makeSmallWorkload("Jacobi");
+            workload->setup(gpus);
+            Session::RunOptions options =
+                batteryOptions(mc.mechanism, shards);
+            options.armFaults = true;
+            RandomFaultOptions fopts;
+            fopts.numEvents = 5;
+            FaultPlan plan = randomFaultPlan(seed, gpus, fopts);
+            // The random episodes are sparse against this workload's
+            // sparse chunk traffic; a lossy wildcard window plus one
+            // long outage guarantee drops, retries and reroutes
+            // actually occur (an untouched run gates nothing).
+            plan.dropDeliveries(0, maxTick, 0.3);
+            plan.downLink(10000 * ticksPerMicrosecond,
+                          30000 * ticksPerMicrosecond, 0, 1);
+            options.faults = std::move(plan);
+            options.retry.enabled = true;
+            options.retry.maxAttempts = 6;
+            options.retry.rerouteAfterAttempts = 2;
+            options.health = true;
+            options.reroute = true;
+            options.deviceHealth = true;
+            return runDigest(
+                session.run(*workload, mc.paradigm, options));
+        };
+        const std::string ref = run_once(1);
+        // Non-vacuity: the plan must actually have cost deliveries
+        // and triggered retries, or the gate proves nothing.
+        EXPECT_EQ(ref.find(" dropped=0 "), std::string::npos) << ref;
+        EXPECT_EQ(ref.find(" retries=0 "), std::string::npos) << ref;
+        for (const int shards : {2, 4, 8}) {
+            EXPECT_EQ(ref, run_once(shards))
+                << mechanismName(mc.mechanism) << " at " << shards
+                << " shards (seed " << seed << ")";
+        }
+    }
+}
+
+TEST(PdesParadigm, DeviceLossRecoveryBitIdenticalAcrossShards)
+{
+    // Recovery path under the gate: an unconditional mid-run device
+    // death with checkpointing armed. The abort decision, the lost
+    // GPU, the surviving iteration count and the checkpoint ledger
+    // must all be shard-count invariant.
+    Session session(pairwiseVolta());
+    const int gpus = session.platform().numGpus;
+    auto run_once = [&](int shards) {
+        auto workload = test::makeSmallWorkload("Pagerank");
+        workload->setup(gpus);
+        Session::RunOptions options =
+            batteryOptions(TransferMechanism::Polling, shards);
+        options.armFaults = true;
+        FaultPlan plan;
+        plan.downGpu(120 * ticksPerMicrosecond, maxTick, gpus - 1);
+        options.faults = std::move(plan);
+        options.retry.enabled = true;
+        options.retry.maxAttempts = 4;
+        options.health = true;
+        options.reroute = true;
+        options.deviceHealth = true;
+        options.checkpoint.enabled = true;
+        options.checkpoint.interval = 1;
+        const ParadigmRun r = session.run(
+            *workload, Paradigm::ProactDecoupled, options);
+        EXPECT_TRUE(r.aborted) << shards << " shards";
+        EXPECT_EQ(r.lostGpu, gpus - 1) << shards << " shards";
+        return runDigest(r);
+    };
+    const std::string ref = run_once(1);
+    for (const int shards : {2, 4, 8})
+        EXPECT_EQ(ref, run_once(shards)) << shards << " shards";
+}
+
+TEST(PdesParadigm, RuntimeStatDumpsBitIdenticalAcrossShards)
+{
+    // Below the Session summary: the full StatSet ledger of the
+    // runtime (every counter it ever bumped, including the per-GPU
+    // lanes folded in after the drain) must match key-for-key and
+    // bit-for-bit across shard counts.
+    auto dump_once = [](int shards, TransferMechanism mechanism) {
+        MultiGpuSystem system(pairwiseVolta(), shards);
+        // Guard against a silent serial degrade, which would make
+        // every comparison in this battery vacuously true.
+        EXPECT_TRUE(system.sharded()) << shards << " shards";
+        system.setFunctional(false);
+        auto workload = test::makeSmallWorkload("SSSP");
+        workload->setup(system.numGpus());
+        ProactRuntime::Options options;
+        options.config.mechanism = mechanism;
+        options.config.chunkBytes = 64 * KiB;
+        options.config.transferThreads = 2048;
+        ProactRuntime runtime(system, options);
+        std::ostringstream os;
+        os << "ticks=" << runtime.run(*workload)
+           << " tail=" << runtime.tailTicks() << "\n";
+        runtime.stats().dump(os);
+        return os.str();
+    };
+    for (const MechanismCase &mc : kMechanisms) {
+        const std::string ref = dump_once(1, mc.mechanism);
+        for (const int shards : {2, 4}) {
+            EXPECT_EQ(ref, dump_once(shards, mc.mechanism))
+                << mechanismName(mc.mechanism) << " at " << shards
+                << " shards";
+        }
     }
 }
