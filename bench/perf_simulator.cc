@@ -29,6 +29,7 @@
 
 #include "harness/paradigm.hh"
 #include "proact/runtime.hh"
+#include "system/platform.hh"
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
 #include "sim/sharded_engine.hh"
@@ -342,10 +343,9 @@ struct EndToEndPoint
 };
 
 EndToEndPoint
-runEndToEnd(int shards, int scale_shift)
+runEndToEnd(const PlatformSpec &platform, int shards,
+            int scale_shift)
 {
-    PlatformSpec platform = voltaPlatform().withGpuCount(64);
-    platform.fabric.topology = FabricTopology::PairwiseLinks;
     auto workload = makeWorkload("Jacobi", scale_shift);
     workload->setup(platform.numGpus);
 
@@ -546,9 +546,12 @@ runDriver()
     }
 
     // 4. End-to-end datapoint: the same gate on the product path.
+    PlatformSpec ring = voltaPlatform().withGpuCount(64);
+    ring.fabric.topology = FabricTopology::PairwiseLinks;
     const int e2e_shards = std::max(4, std::min(shard_workers, 16));
-    const EndToEndPoint e2e_serial = runEndToEnd(1, 2);
-    const EndToEndPoint e2e_sharded = runEndToEnd(e2e_shards, 2);
+    const EndToEndPoint e2e_serial = runEndToEnd(ring, 1, 2);
+    const EndToEndPoint e2e_sharded =
+        runEndToEnd(ring, e2e_shards, 2);
     const bool e2e_deterministic =
         e2e_serial.digest == e2e_sharded.digest;
     const double e2e_speedup = e2e_sharded.seconds > 0.0
@@ -560,6 +563,27 @@ runDriver()
               << " shards " << e2e_sharded.seconds << " s ("
               << e2e_speedup << "x), stats "
               << (e2e_deterministic ? "bit-identical" : "DIVERGE")
+              << "\n";
+
+    // 5. Multi-node datapoint: the same workload on a hierarchical
+    // 2x16 platform, so the trajectory tracks the two-tier fabric's
+    // sharded path (per-pair channels spanning the network tier)
+    // next to the flat ring.
+    const PlatformSpec multi = multiNodePlatform(2, 16);
+    const EndToEndPoint mn_serial = runEndToEnd(multi, 1, 2);
+    const EndToEndPoint mn_sharded =
+        runEndToEnd(multi, e2e_shards, 2);
+    const bool mn_deterministic =
+        mn_serial.digest == mn_sharded.digest;
+    const double mn_speedup = mn_sharded.seconds > 0.0
+        ? mn_serial.seconds / mn_sharded.seconds
+        : 0.0;
+    all_deterministic = all_deterministic && mn_deterministic;
+    std::cout << "multi-node 2x16 (PROACT Jacobi): 1 shard "
+              << mn_serial.seconds << " s, " << mn_sharded.shards
+              << " shards " << mn_sharded.seconds << " s ("
+              << mn_speedup << "x), stats "
+              << (mn_deterministic ? "bit-identical" : "DIVERGE")
               << "\n";
 
     // The wall-clock gate needs cores to run the shards on; on a
@@ -628,6 +652,18 @@ runDriver()
          << (e2e_measurable ? "true" : "false") << ",\n"
          << "    \"deterministic\": "
          << (e2e_deterministic ? "true" : "false") << "\n"
+         << "  },\n  \"end_to_end_multinode\": {\n"
+         << "    \"platform\": \"" << multi.name << "\",\n"
+         << "    \"gpus\": " << multi.numGpus << ",\n"
+         << "    \"workload\": \"Jacobi\",\n"
+         << "    \"ticks\": " << mn_serial.ticks << ",\n"
+         << "    \"serial_seconds\": " << mn_serial.seconds << ",\n"
+         << "    \"sharded_seconds\": " << mn_sharded.seconds
+         << ",\n"
+         << "    \"shards\": " << mn_sharded.shards << ",\n"
+         << "    \"speedup\": " << mn_speedup << ",\n"
+         << "    \"deterministic\": "
+         << (mn_deterministic ? "true" : "false") << "\n"
          << "  },\n  \"acceptance\": {\n"
          << "    \"serial_speedup_ok\": "
          << (gate_speedup ? "true" : "false")

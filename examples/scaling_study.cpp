@@ -8,15 +8,21 @@
  * bulk-synchronous baseline flattens under N*(N-1) per-iteration
  * copies.
  *
+ * PROACT_NODES=N extends the study onto a hierarchical N-node
+ * platform (multiNodePlatform; see PROACT_INTER_* knobs), adding
+ * 32/64/... GPU points that cross the network tier.
+ *
  * Usage: scaling_study [workload]
  */
 
 #include "harness/session.hh"
+#include "proact/config.hh"
 #include "workloads/registry.hh"
 
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
 using namespace proact;
 
@@ -24,7 +30,7 @@ int
 main(int argc, char **argv)
 {
     const std::string name = argc > 1 ? argv[1] : "Pagerank";
-    const PlatformSpec dgx2 = dgx2Platform();
+    const PlatformSpec dgx2 = envMultiNodePlatform();
 
     auto make = [&](int gpus) {
         auto workload = makeWorkload(name, envScaleShift());
@@ -52,7 +58,11 @@ main(int argc, char **argv)
               << std::setw(14) << "cudaMemcpy" << std::setw(14)
               << "PROACT" << std::setw(14) << "Infinite-BW" << "\n";
 
-    for (const int n : {1, 2, 4, 8, 12, 16}) {
+    std::vector<int> counts = {1, 2, 4, 8, 12, 16};
+    for (int n = 32; n <= dgx2.numGpus; n *= 2)
+        counts.push_back(n);
+
+    for (const int n : counts) {
         Session session(dgx2.withGpuCount(n));
         std::cout << std::left << std::setw(8) << n;
         for (const Paradigm p :

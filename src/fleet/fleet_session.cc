@@ -183,6 +183,7 @@ FleetReport::toJson(const std::string &platform_name,
             << (t.election.cacheHit ? "true" : "false")
             << ", \"arrival_ticks\": " << t.job.arrival
             << ", \"admitted_ticks\": " << t.admitted
+            << ", \"elected_at_ticks\": " << t.electedAt
             << ", \"queue_delay_ticks\": " << t.queueDelay
             << ", \"service_ticks\": " << t.serviceTicks
             << ", \"latency_ticks\": " << t.latency
@@ -225,19 +226,25 @@ FleetSession::feedPlane(const PlacementAllocator &allocator,
     // Mirror the monitor's own expected-time computation so a fed
     // ratio of R lands as a per-sample queue ratio of exactly R: the
     // wire time of the sample payload at the pair's nominal rate
-    // plus the fabric latency. Service time equals the expectation,
-    // so the wire signal stays pinned HEALTHY — co-tenant contention
-    // is queueing, never degradation.
-    const std::uint64_t wire = _fabric.packetModel().wireBytes(
-        _options.congestionSampleBytes,
-        _fabric.packetModel().maxPayloadBytes);
+    // plus the pair's latency. On a pairwise fabric all three inputs
+    // are per-pair (a multi-node plane's rep link is an intra-node
+    // pair with an intra-node divisor, not a machine-wide one).
+    // Service time equals the expectation, so the wire signal stays
+    // pinned HEALTHY — co-tenant contention is queueing, never
+    // degradation.
+    const PacketModel &packet = _fabric.pairwise()
+        ? _fabric.pairPacketModel(src, dst)
+        : _fabric.packetModel();
+    const std::uint64_t wire = packet.wireBytes(
+        _options.congestionSampleBytes, packet.maxPayloadBytes);
     double nominal = _fabric.spec().egressRate();
     if (_fabric.pairwise())
-        nominal /= static_cast<double>(_fabric.numGpus() - 1);
+        nominal = _fabric.nominalPairRate(src, dst);
     const double rate =
         std::min(_fabric.effectiveEgressRate(0), nominal);
-    const Tick expected =
-        transferTicks(wire, rate) + _fabric.spec().latency;
+    const Tick expected = transferTicks(wire, rate)
+        + (_fabric.pairwise() ? _fabric.pairLatency(src, dst)
+                              : _fabric.spec().latency);
     const Tick queue_delay =
         static_cast<Tick>(ratio * static_cast<double>(expected));
 
@@ -301,6 +308,9 @@ FleetSession::runTenant(const JobSpec &job,
     rec.queueDelay = now - job.arrival;
     if (_options.chargeElections)
         rec.electionSweepTicks = rec.election.sweepCost;
+    // The sweep runs before the tenant's kernels: the decision lands
+    // (and the run starts) only after its charged cost elapses.
+    rec.electedAt = now + rec.electionSweepTicks;
     if (first_iteration > 0)
         rec.restoreTicks = _options.recovery.checkpoint.cost;
     rec.serviceTicks =

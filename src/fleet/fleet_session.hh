@@ -38,6 +38,7 @@
 #include "fleet/job.hh"
 #include "fleet/placement.hh"
 #include "harness/session.hh"
+#include "proact/config.hh"
 #include "health/link_health.hh"
 #include "interconnect/interconnect.hh"
 #include "sim/event_queue.hh"
@@ -99,6 +100,14 @@ struct TenantRecord
 
     Tick admitted = 0;     ///< Fleet tick the job started.
     Tick queueDelay = 0;   ///< admitted - arrival.
+
+    /**
+     * Fleet tick the election decision took effect: admitted when
+     * sweeps are free, admitted + electionSweepTicks when
+     * Options::chargeElections bills a cache-miss sweep to the
+     * timeline (the tenant's run starts only after the sweep).
+     */
+    Tick electedAt = 0;
     Tick serviceTicks = 0; ///< Nested makespan + charges (below).
     Tick completion = 0;   ///< admitted + serviceTicks.
     Tick latency = 0;      ///< completion - arrival.
@@ -245,9 +254,10 @@ class FleetSession
          * Charge each cache-miss election sweep's simulated cost to
          * the elected tenant's timeline (the fleet face of
          * PROACT_REPROFILE_CHARGE — cache hits stay free, which is
-         * the point of the persistent elector cache).
+         * the point of the persistent elector cache). Defaults from
+         * the environment so benches pick it up without plumbing.
          */
-        bool chargeElections = false;
+        bool chargeElections = envReprofileChargeEnabled();
 
         /**
          * Per-tenant delivery observer, registered on the tenant's

@@ -21,10 +21,22 @@ PlacementAllocator::PlacementAllocator(const PlatformSpec &platform,
 
     // Baseboard-sized planes on chassis-scale machines; smaller
     // platforms are a single plane (their fabric has no disjoint
-    // port groups to carve).
-    _gpusPerPlane = platform.numGpus > dgx2GpusPerBaseboard
-        ? dgx2GpusPerBaseboard
-        : platform.numGpus;
+    // port groups to carve). Multi-node platforms keep every plane
+    // inside one node — a plane spanning the network tier would hand
+    // a single tenant's all-to-all traffic to the much slower
+    // inter-node links — so the plane size is the baseboard when it
+    // tiles the node exactly and the whole node otherwise, keeping
+    // the uniform gpu / _gpusPerPlane arithmetic intact.
+    if (platform.fabric.multiNode()) {
+        const int per_node = platform.fabric.gpusPerNode;
+        _gpusPerPlane = per_node % dgx2GpusPerBaseboard == 0
+            ? dgx2GpusPerBaseboard
+            : per_node;
+    } else {
+        _gpusPerPlane = platform.numGpus > dgx2GpusPerBaseboard
+            ? dgx2GpusPerBaseboard
+            : platform.numGpus;
+    }
     for (int first = 0; first < platform.numGpus;
          first += _gpusPerPlane) {
         Plane plane;

@@ -5,7 +5,9 @@
  * The allocator carves the platform into placement planes — on a
  * DGX-2, the two 8-GPU baseboards whose traffic rides disjoint
  * NVSwitch port groups; on the 4-GPU platforms, the whole machine is
- * one plane. Disjoint mode gives every plane to at most one tenant
+ * one plane; on multi-node platforms a plane never spans a node
+ * boundary, so no tenant's intra-job traffic is forced across the
+ * slower network tier. Disjoint mode gives every plane to at most one tenant
  * (full fabric isolation: a tenant's faults and congestion cannot
  * touch a neighbour). PlaneSharing packs up to maxTenantsPerPlane
  * tenants per plane; sharing tenants split the plane's per-GPU

@@ -88,10 +88,11 @@ LinkHealthMonitor::link(int src, int dst) const
 double
 LinkHealthMonitor::nominalBandwidth(int src, int dst) const
 {
-    if (_fabric.pairwise()) {
-        return _fabric.spec().egressRate()
-            / static_cast<double>(_fabric.numGpus() - 1);
-    }
+    // Tier-aware: an inter-node pair's nominal is the (much lower)
+    // network-tier slice — judging it against the intra-node rate
+    // would misclassify every healthy cross-node link as DEGRADED.
+    if (_fabric.pairwise())
+        return _fabric.nominalPairRate(src, dst);
     (void)src;
     (void)dst;
     return _fabric.spec().egressRate();
@@ -167,9 +168,9 @@ LinkHealthMonitor::recordDelivery(int src, int dst,
                                   std::uint64_t bytes,
                                   Tick submitted, Tick delivered)
 {
+    const PacketModel &packet = _fabric.pairPacketModel(src, dst);
     observe(src, dst,
-            _fabric.packetModel().wireBytes(
-                bytes, _fabric.packetModel().maxPayloadBytes),
+            packet.wireBytes(bytes, packet.maxPayloadBytes),
             0, 0, delivered > submitted ? delivered - submitted : 1);
 }
 
@@ -177,9 +178,9 @@ void
 LinkHealthMonitor::recordSample(int src, int dst, std::uint64_t bytes,
                                 Tick queue_delay, Tick service_time)
 {
+    const PacketModel &packet = _fabric.pairPacketModel(src, dst);
     observe(src, dst,
-            _fabric.packetModel().wireBytes(
-                bytes, _fabric.packetModel().maxPayloadBytes),
+            packet.wireBytes(bytes, packet.maxPayloadBytes),
             0, queue_delay, service_time);
 }
 
@@ -204,8 +205,9 @@ LinkHealthMonitor::observe(int src, int dst, std::uint64_t wire_bytes,
     // service_time — and hence the DEGRADED classification — alone.
     const double rate = std::min(_fabric.effectiveEgressRate(threads),
                                  nominalBandwidth(src, dst));
-    const Tick expected =
-        transferTicks(wire_bytes, rate) + _fabric.spec().latency;
+    const Tick expected = transferTicks(wire_bytes, rate)
+        + (_fabric.pairwise() ? _fabric.pairLatency(src, dst)
+                              : _fabric.spec().latency);
     const Tick actual = service_time > 0 ? service_time : 1;
     const double fraction =
         std::min(1.0, static_cast<double>(expected)
@@ -397,9 +399,10 @@ LinkHealthMonitor::sendProbe(int src, int dst)
     req.src = src;
     req.dst = dst;
     req.bytes = _policy.probeBytes;
-    req.writeGranularity = static_cast<std::uint32_t>(
-        std::min<std::uint64_t>(_policy.probeBytes,
-                                _fabric.packetModel().maxPayloadBytes));
+    req.writeGranularity = static_cast<std::uint32_t>(std::min<
+        std::uint64_t>(
+        _policy.probeBytes,
+        _fabric.pairPacketModel(src, dst).maxPayloadBytes));
     req.threads = 1;
     req.onComplete = [landed] { *landed = true; };
     const Tick predicted = _fabric.transfer(req);

@@ -57,6 +57,19 @@ nvswitchFabric()
 }
 
 FabricSpec
+ibFabric()
+{
+    return FabricSpec{
+        Protocol::IB,
+        "IB-HDR",
+        12.5e9,                    // 100 GB/s chassis NIC aggregate / 8.
+        0.0,                       // Fat-tree core not modeled.
+        2500 * ticksPerNanosecond, // RDMA one-sided write latency.
+        1800,
+    };
+}
+
+FabricSpec
 fabricFor(Protocol protocol)
 {
     switch (protocol) {
@@ -68,6 +81,8 @@ fabricFor(Protocol protocol)
         return nvlink2Fabric();
       case Protocol::NVSwitch:
         return nvswitchFabric();
+      case Protocol::IB:
+        return ibFabric();
     }
     panicError("fabricFor: unknown protocol");
 }

@@ -66,8 +66,52 @@ struct FabricSpec
     /** Port organization (see FabricTopology). */
     FabricTopology topology = FabricTopology::SharedPorts;
 
+    // -----------------------------------------------------------------
+    // Hierarchical (multi-node) tier. gpusPerNode == 0 means a single
+    // chassis and every inter* field is ignored. When > 0, GPUs
+    // [k*gpusPerNode, (k+1)*gpusPerNode) form node k: pairs inside a
+    // node ride this spec's intra-node parameters; pairs crossing a
+    // node boundary ride the inter-node protocol/bandwidth/latency
+    // below, with their own packetization curve (packetModelFor).
+    // `latency` stays the intra-node (minimum) hop delay, so the
+    // sharded engine's lookahead contract is untouched: interLatency
+    // must be >= latency.
+    // -----------------------------------------------------------------
+
+    /** GPUs per node; 0 = single-node fabric (the default). */
+    int gpusPerNode = 0;
+
+    /** Inter-node link protocol (packetization tier). */
+    Protocol interProtocol = Protocol::IB;
+
+    /** Table-I-style bidirectional inter-node aggregate per GPU. */
+    double interPerGpuBidirBandwidth = 0.0;
+
+    /** End-to-end delivery latency of one cross-node transfer. */
+    Tick interLatency = 0;
+
     double egressRate() const { return perGpuBidirBandwidth / 2.0; }
     double ingressRate() const { return perGpuBidirBandwidth / 2.0; }
+
+    /** Whether this fabric spans more than one node. */
+    bool multiNode() const { return gpusPerNode > 0; }
+
+    /** Node index of GPU @p gpu (0 on single-node fabrics). */
+    int
+    nodeOf(int gpu) const
+    {
+        return multiNode() ? gpu / gpusPerNode : 0;
+    }
+
+    /** Whether @p a and @p b sit in the same node. */
+    bool sameNode(int a, int b) const { return nodeOf(a) == nodeOf(b); }
+
+    /** Egress half of the inter-node bidirectional aggregate. */
+    double
+    interEgressRate() const
+    {
+        return interPerGpuBidirBandwidth / 2.0;
+    }
 
     double
     perThreadStoreBandwidth() const
@@ -87,6 +131,15 @@ FabricSpec nvlink2Fabric();
 
 /** NVSwitch fabric of the 16x Volta DGX-2 (300 GB/s per GPU). */
 FabricSpec nvswitchFabric();
+
+/**
+ * HDR InfiniBand-class inter-node network tier (the DGX-2's 8x
+ * HDR100 NICs: 100 GB/s bidirectional aggregate per chassis, spread
+ * evenly across its GPUs by ibFabricFor). Used standalone only in
+ * unit tests; multi-node platforms embed it as the inter* tier of an
+ * NVSwitch fabric.
+ */
+FabricSpec ibFabric();
 
 /** Fabric spec by protocol enum. */
 FabricSpec fabricFor(Protocol protocol);

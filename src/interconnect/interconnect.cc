@@ -10,12 +10,30 @@ namespace proact {
 Interconnect::Interconnect(EventQueue &eq, const FabricSpec &spec,
                            int num_gpus)
     : _eq(eq), _spec(spec), _packet(packetModelFor(spec.protocol)),
+      _interPacket(packetModelFor(spec.multiNode()
+                                      ? spec.interProtocol
+                                      : spec.protocol)),
       _numGpus(num_gpus), _storeTransactions(num_gpus, 0),
       _deadDevice(static_cast<std::size_t>(num_gpus), 0)
 {
     if (num_gpus < 1)
         fatalError("Interconnect: need at least one GPU, got ",
                    num_gpus);
+    if (spec.multiNode()) {
+        if (spec.topology != FabricTopology::PairwiseLinks) {
+            fatalError("Interconnect: multi-node fabrics need "
+                       "PairwiseLinks (per-pair tier parameters)");
+        }
+        if (spec.interLatency < spec.latency) {
+            fatalError("Interconnect: inter-node latency (",
+                       spec.interLatency, ") below the intra-node "
+                       "latency (", spec.latency,
+                       ") breaks the lookahead floor");
+        }
+        if (spec.interEgressRate() <= 0.0 && num_gpus > spec.gpusPerNode)
+            fatalError("Interconnect: multi-node fabric with zero "
+                       "inter-node bandwidth");
+    }
 
     _egress.reserve(num_gpus);
     _ingress.reserve(num_gpus);
@@ -35,9 +53,10 @@ Interconnect::Interconnect(EventQueue &eq, const FabricSpec &spec,
     if (spec.topology == FabricTopology::PairwiseLinks &&
         num_gpus > 1) {
         // Links statically partitioned across peers: each directed
-        // pair gets an equal slice of the egress rate.
-        const double pair_rate =
-            spec.egressRate() / static_cast<double>(num_gpus - 1);
+        // pair gets an equal slice of its tier's egress rate —
+        // intra-node pairs split the chassis links across local
+        // peers, inter-node pairs split the NIC aggregate across
+        // remote peers at the network tier's latency.
         _pairs.resize(static_cast<std::size_t>(num_gpus) * num_gpus);
         for (int s = 0; s < num_gpus; ++s) {
             for (int d = 0; d < num_gpus; ++d) {
@@ -47,10 +66,33 @@ Interconnect::Interconnect(EventQueue &eq, const FabricSpec &spec,
                     eq,
                     spec.name + ".link" + std::to_string(s) + "to"
                         + std::to_string(d),
-                    pair_rate, spec.latency);
+                    nominalPairRate(s, d), pairLatency(s, d));
             }
         }
     }
+}
+
+int
+Interconnect::nodeSpan(int gpu) const
+{
+    if (!_spec.multiNode())
+        return _numGpus;
+    const int first = _spec.nodeOf(gpu) * _spec.gpusPerNode;
+    return std::min(_numGpus, first + _spec.gpusPerNode) - first;
+}
+
+double
+Interconnect::nominalPairRate(int src, int dst) const
+{
+    if (!pairwise())
+        return _spec.egressRate();
+    if (interNodePair(src, dst)) {
+        const int remote_peers = _numGpus - nodeSpan(src);
+        return _spec.interEgressRate()
+            / static_cast<double>(remote_peers);
+    }
+    const int local_peers = nodeSpan(src) - 1;
+    return _spec.egressRate() / static_cast<double>(local_peers);
 }
 
 Channel &
@@ -128,8 +170,11 @@ Interconnect::transfer(const Request &req)
         return when;
     }
 
+    const PacketModel &packet = pairwise()
+        ? pairPacketModel(req.src, req.dst)
+        : _packet;
     const std::uint64_t wire =
-        _packet.wireBytes(req.bytes, req.writeGranularity);
+        packet.wireBytes(req.bytes, req.writeGranularity);
 
     // Thread-limited issue keeps the link partially idle; we model it
     // by inflating egress occupancy so achieved bandwidth matches
@@ -140,7 +185,7 @@ Interconnect::transfer(const Request &req)
         static_cast<std::uint64_t>(static_cast<double>(wire) * inflate);
 
     const std::uint32_t gran =
-        std::min(req.writeGranularity, _packet.maxPayloadBytes);
+        std::min(req.writeGranularity, packet.maxPayloadBytes);
     const std::uint64_t packets =
         (req.bytes + gran - 1) / gran;
     _storeTransactions[req.src] += packets;
@@ -378,9 +423,10 @@ Interconnect::bindShards(ShardedEventEngine &engine,
 
     // Re-home each directed pair link onto its source GPU's shard:
     // submissions run there, so the channel's FIFO state and clock
-    // reference must live there too.
-    const double pair_rate =
-        _spec.egressRate() / static_cast<double>(_numGpus - 1);
+    // reference must live there too. Tier parameters carry over —
+    // inter-node pairs keep their slower rate and longer latency
+    // (which, being >= the intra-node latency, still clears the
+    // engine's lookahead).
     for (int s = 0; s < _numGpus; ++s) {
         EventQueue &queue = engine.shard(_shardOf[s]);
         for (int d = 0; d < _numGpus; ++d) {
@@ -391,7 +437,7 @@ Interconnect::bindShards(ShardedEventEngine &engine,
                     queue,
                     _spec.name + ".link" + std::to_string(s) + "to"
                         + std::to_string(d),
-                    pair_rate, _spec.latency);
+                    nominalPairRate(s, d), pairLatency(s, d));
         }
     }
 
@@ -438,22 +484,25 @@ Interconnect::transferSharded(const Request &req)
     const Tick nb = std::max(now, req.notBefore);
 
     if (req.bytes == 0) {
-        // Even empty hand-offs cross GPUs, so they pay the link
-        // latency — which keeps the delivery outside the lookahead
-        // window (the serial engine books them latency-free; the
-        // determinism gate compares shard counts, not engines).
+        // Even empty hand-offs cross GPUs, so they pay their pair's
+        // link latency — which keeps the delivery outside the
+        // lookahead window (inter-node latency >= intra-node
+        // latency == lookahead; the serial engine books them
+        // latency-free, and the determinism gate compares shard
+        // counts, not engines).
         lane.lastDropped = false;
-        const Tick when = nb + _spec.latency;
+        const Tick when = nb + pairLatency(req.src, req.dst);
         if (req.onComplete)
             postDelivery(req, when);
         return when;
     }
 
+    const PacketModel &packet = pairPacketModel(req.src, req.dst);
     const std::uint64_t wire =
-        _packet.wireBytes(req.bytes, req.writeGranularity);
+        packet.wireBytes(req.bytes, req.writeGranularity);
     const double eff_rate = effectiveEgressRate(req.threads);
     const std::uint32_t gran =
-        std::min(req.writeGranularity, _packet.maxPayloadBytes);
+        std::min(req.writeGranularity, packet.maxPayloadBytes);
     const std::uint64_t packets = (req.bytes + gran - 1) / gran;
     _storeTransactions[req.src] += packets; // Per-src: single writer.
     lane.writeSizes.record(gran, packets);

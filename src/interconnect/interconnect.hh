@@ -165,6 +165,44 @@ class Interconnect
     const PacketModel &packetModel() const { return _packet; }
 
     /**
+     * @{ @name Hierarchical tiers
+     *
+     * On a multi-node fabric (FabricSpec::multiNode) directed pairs
+     * crossing a node boundary ride the inter-node tier: their own
+     * nominal rate (the inter-node egress split across remote peers),
+     * their own delivery latency (>= the intra-node latency, which
+     * stays the sharded engine's lookahead floor), and their own
+     * packetization curve. Single-node fabrics answer with the base
+     * tier for every pair, so callers need no special-casing.
+     */
+
+    /** Whether the directed pair crosses a node boundary. */
+    bool
+    interNodePair(int src, int dst) const
+    {
+        return _spec.multiNode() && !_spec.sameNode(src, dst);
+    }
+
+    /** Nominal fault-free rate of one directed pair's link. */
+    double nominalPairRate(int src, int dst) const;
+
+    /** Delivery latency of one directed pair's tier. */
+    Tick
+    pairLatency(int src, int dst) const
+    {
+        return interNodePair(src, dst) ? _spec.interLatency
+                                       : _spec.latency;
+    }
+
+    /** Packetization model of one directed pair's tier. */
+    const PacketModel &
+    pairPacketModel(int src, int dst) const
+    {
+        return interNodePair(src, dst) ? _interPacket : _packet;
+    }
+    /** @} */
+
+    /**
      * Egress bandwidth achievable by @p threads transfer threads
      * (before packetization losses); 0 threads = full rate.
      */
@@ -324,7 +362,12 @@ class Interconnect
     EventQueue &_eq;
     FabricSpec _spec;
     PacketModel _packet;
+    /** Inter-node tier packetization (multi-node fabrics only). */
+    PacketModel _interPacket;
     int _numGpus;
+
+    /** GPUs of @p gpu's node present on this fabric instance. */
+    int nodeSpan(int gpu) const;
 
     std::vector<std::unique_ptr<Channel>> _egress;
     std::vector<std::unique_ptr<Channel>> _ingress;

@@ -18,6 +18,8 @@ protocolName(Protocol protocol)
         return "NVLink2";
       case Protocol::NVSwitch:
         return "NVSwitch";
+      case Protocol::IB:
+        return "IB";
     }
     return "unknown";
 }
@@ -81,6 +83,14 @@ packetModelFor(Protocol protocol)
         // 256B max payload: a 4B store achieves 4/48 = 8 % goodput,
         // matching the paper's Figure 2.
         return PacketModel{32, 16, 256};
+      case Protocol::IB:
+        // Cross-node packets carry transport + network headers (LRH,
+        // GRH, BTH, ICRC plus RDMA framing: ~66B rounded up), pad to
+        // 32B, and ride a 4 KiB MTU. Fine-grained stores are far
+        // costlier than on any intra-node tier (4B store: 4/128 = 3 %
+        // goodput) while >= 2 KiB packets approach peak — the tier's
+        // own Figure 2 curve.
+        return PacketModel{96, 32, 4096};
     }
     panicError("packetModelFor: unknown protocol");
 }

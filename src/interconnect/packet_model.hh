@@ -25,6 +25,7 @@ enum class Protocol
     NVLink1,  ///< 4x Pascal system fabric.
     NVLink2,  ///< 4x Volta system fabric.
     NVSwitch, ///< 16x Volta DGX-2 fabric (NVLink2 links via switch).
+    IB,       ///< Inter-node HDR InfiniBand-class network tier.
 };
 
 std::string protocolName(Protocol protocol);

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <memory>
 #include <queue>
+#include <tuple>
 
 namespace proact {
 
@@ -32,6 +33,7 @@ Rerouter::Rerouter(EventQueue &eq, Interconnect &fabric,
     _cachedTicks.assign(pairs, 0);
     _cacheDirectOnly.assign(pairs, 0);
     _cacheValid.assign(pairs, 0);
+    _cacheTierMask.assign(pairs, 0);
 
     // Shard-bound fabric: the send path runs on each source's shard.
     // Cache entries are already race-free (row src has a single
@@ -79,6 +81,12 @@ Rerouter::setHopSubmitters(std::vector<Submit> submitters)
     _hopSubmitters = std::move(submitters);
 }
 
+unsigned char
+Rerouter::tierBit(int a, int b) const
+{
+    return _fabric.interNodePair(a, b) ? kTierInter : kTierIntra;
+}
+
 double
 Rerouter::congestionWeight(int src, int dst) const
 {
@@ -90,15 +98,14 @@ Rerouter::congestionWeight(int src, int dst) const
 }
 
 std::vector<std::pair<int, double>>
-Rerouter::scoredRelays(int src, int dst) const
+Rerouter::scoredRelays(int src, int dst, bool *used_foreign) const
 {
-    std::vector<std::pair<int, double>> relays;
-    for (int k = 0; k < _fabric.numGpus(); ++k) {
-        if (k == src || k == dst)
-            continue;
-        double s =
-            std::min(_health.residualFraction(src, k),
-                     _health.residualFraction(k, dst))
+    if (used_foreign)
+        *used_foreign = false;
+
+    const auto score = [this](int s, int k, int d) {
+        double v = std::min(_health.residualFraction(s, k),
+                            _health.residualFraction(k, d))
             * _policy.relayDiscount;
         // Spread-don't-detour: congested relay legs keep their full
         // residual (the wire is fine) but score lower, so the fan-out
@@ -107,11 +114,46 @@ Rerouter::scoredRelays(int src, int dst) const
         // backlog alike; queue weighting scales each leg by
         // 1 / (1 + queueDelay ratio) so sustained hotspots shed load
         // in proportion to how deep their queues actually are.
-        s *= congestionWeight(src, k);
-        s *= congestionWeight(k, dst);
-        if (s > 0.0)
-            relays.emplace_back(k, s);
+        v *= congestionWeight(s, k);
+        v *= congestionWeight(k, d);
+        return v;
+    };
+
+    const FabricSpec &spec = _fabric.spec();
+    std::vector<std::pair<int, double>> relays;
+    const auto collect = [&](bool endpoint_nodes) {
+        for (int k = 0; k < _fabric.numGpus(); ++k) {
+            if (k == src || k == dst)
+                continue;
+            const bool local = !spec.multiNode()
+                || spec.sameNode(k, src) || spec.sameNode(k, dst);
+            if (local != endpoint_nodes)
+                continue;
+            const double s = score(src, k, dst);
+            if (s > 0.0)
+                relays.emplace_back(k, s);
+        }
+    };
+
+    // Hierarchical candidate classes: relays confined to the
+    // endpoints' own nodes first. For a cross-node pair a relay in
+    // either endpoint node keeps the detour at one network hop (the
+    // same as the direct path), while a third-node relay pays the
+    // network tier twice; for an intra-node pair a same-node relay
+    // keeps the detour inside the chassis entirely. Foreign-node
+    // relays are consulted only when no endpoint-node relay has
+    // usable bandwidth — the health model justifying the boundary
+    // crossing.
+    collect(true);
+    if (relays.empty() && spec.multiNode()) {
+        // Reading foreign-node scores — even ones that come back
+        // unusable — makes the resulting plan depend on network-tier
+        // links, so the flag reports the consultation, not its yield.
+        if (used_foreign)
+            *used_foreign = true;
+        collect(false);
     }
+
     // Equal-score ties order by a per-pair rotation of the relay id:
     // when a dead board leaves every pair the same healthy relay set,
     // different pairs still pick different relays first, spreading
@@ -143,11 +185,70 @@ Rerouter::relayCandidates(int src, int dst) const
 std::vector<int>
 Rerouter::bfsVias(int src, int dst) const
 {
+    const int n = _fabric.numGpus();
+    const int max_edges = _policy.maxRelayHops + 1;
+
+    if (_fabric.spec().multiNode()) {
+        // Lexicographic (network hops, edges) shortest path: a chain
+        // that crosses the node boundary twice is never preferred
+        // over one that crosses once, no matter how many chassis hops
+        // the in-node portion takes within the maxRelayHops bound.
+        // Strict-improvement relaxation with the heap keyed
+        // (cost, node id) and neighbours visited in id order is fully
+        // deterministic — replays stay tick-for-tick identical.
+        struct Cost
+        {
+            int inter;
+            int edges;
+        };
+        std::vector<Cost> best(n, Cost{n + 1, n + 1});
+        std::vector<int> parent(n, -1);
+        using Key = std::tuple<int, int, int>;
+        std::priority_queue<Key, std::vector<Key>,
+                            std::greater<Key>> heap;
+        best[src] = Cost{0, 0};
+        heap.push({0, 0, src});
+        while (!heap.empty()) {
+            const auto [ci, ce, node] = heap.top();
+            heap.pop();
+            if (ci != best[node].inter || ce != best[node].edges)
+                continue;
+            if (node == dst)
+                break;
+            if (ce >= max_edges)
+                continue;
+            for (int next = 0; next < n; ++next) {
+                if (next == node)
+                    continue;
+                if (_health.linkState(node, next) == LinkState::Down)
+                    continue;
+                const int ninter =
+                    ci + (_fabric.interNodePair(node, next) ? 1 : 0);
+                const int nedges = ce + 1;
+                if (ninter > best[next].inter ||
+                    (ninter == best[next].inter &&
+                     nedges >= best[next].edges)) {
+                    continue;
+                }
+                best[next] = Cost{ninter, nedges};
+                parent[next] = node;
+                heap.push({ninter, nedges, next});
+            }
+        }
+        if (parent[dst] < 0)
+            return {};
+        std::vector<int> vias;
+        for (int node = parent[dst]; node != src;
+             node = parent[node]) {
+            vias.push_back(node);
+        }
+        std::reverse(vias.begin(), vias.end());
+        return vias;
+    }
+
     // Shortest path over non-DOWN links, visiting neighbours in id
     // order so the first path found is the lexicographically smallest
     // among the shortest — deterministic across replays.
-    const int n = _fabric.numGpus();
-    const int max_edges = _policy.maxRelayHops + 1;
     std::vector<int> parent(n, -1);
     std::vector<int> dist(n, -1);
     std::queue<int> frontier;
@@ -213,8 +314,10 @@ Rerouter::splitFractions(const std::vector<double> &weights,
 }
 
 std::vector<Rerouter::Leg>
-Rerouter::computePlan(int src, int dst) const
+Rerouter::computePlan(int src, int dst,
+                      unsigned char &tier_mask) const
 {
+    tier_mask = tierBit(src, dst);
     const LinkState direct = _health.linkState(src, dst);
     if (direct == LinkState::Healthy ||
         direct == LinkState::Congested) {
@@ -224,7 +327,15 @@ Rerouter::computePlan(int src, int dst) const
         return {Leg{{}, 1.0}};
     }
 
-    auto relays = scoredRelays(src, dst);
+    const bool multi = _fabric.spec().multiNode();
+    bool foreign = false;
+    auto relays = scoredRelays(src, dst, &foreign);
+    // A cross-node pair's relay legs each pair one chassis link with
+    // one network link, and an intra-node pair that had to consult
+    // foreign-node relays read the network tier too; either way the
+    // plan now depends on both tiers.
+    if (multi && (tier_mask == kTierInter || foreign))
+        tier_mask = kTierIntra | kTierInter;
     if (static_cast<int>(relays.size()) > _policy.maxRelayFanout)
         relays.resize(static_cast<std::size_t>(_policy.maxRelayFanout));
 
@@ -233,6 +344,10 @@ Rerouter::computePlan(int src, int dst) const
             // No single relay survives (a dead plane can sever every
             // two-hop detour): fall back to the shortest multi-relay
             // chain the health-filtered topology still offers.
+            if (multi) {
+                // The BFS scans the whole health-filtered graph.
+                tier_mask = kTierIntra | kTierInter;
+            }
             std::vector<int> vias = bfsVias(src, dst);
             if (vias.empty())
                 return {Leg{{}, 1.0}}; // No path: direct + retry.
@@ -330,7 +445,9 @@ Rerouter::plan(int src, int dst) const
         stats.inc("reroute.plan_cache_hits");
     } else {
         stats.inc("reroute.plan_computes");
-        _cachedPlans[idx] = computePlan(src, dst);
+        unsigned char tier_mask = kTierIntra;
+        _cachedPlans[idx] = computePlan(src, dst, tier_mask);
+        _cacheTierMask[idx] = tier_mask;
         // A plan computed on a HEALTHY or CONGESTED direct link read
         // nothing but that link; marking it direct-only exempts it
         // from the routeEpoch check (and from push row/column
@@ -383,15 +500,21 @@ Rerouter::onLinkTransition(int src, int dst, LinkState from,
     _cacheValid.at(direct) = 0;
     // Any plan that read this link beyond its own direct entry is a
     // relay plan in row src (a leg leaving src) or column dst (a leg
-    // entering dst); direct-only plans elsewhere never read it.
+    // entering dst); direct-only plans elsewhere never read it. The
+    // tier mask narrows that further on multi-node fabrics: a relay
+    // plan that never read the transitioned link's tier (an in-node
+    // detour vs a network-tier flap, or vice versa) kept no stale
+    // state, so cross-node epochs invalidate independently of
+    // intra-node ones.
+    const unsigned char bit = tierBit(src, dst);
     for (int d = 0; d < n; ++d) {
         const std::size_t i = static_cast<std::size_t>(src) * n + d;
-        if (!_cacheDirectOnly[i])
+        if (!_cacheDirectOnly[i] && (_cacheTierMask[i] & bit))
             _cacheValid[i] = 0;
     }
     for (int s = 0; s < n; ++s) {
         const std::size_t i = static_cast<std::size_t>(s) * n + dst;
-        if (!_cacheDirectOnly[i])
+        if (!_cacheDirectOnly[i] && (_cacheTierMask[i] & bit))
             _cacheValid[i] = 0;
     }
 }

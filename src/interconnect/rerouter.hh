@@ -287,9 +287,26 @@ class Rerouter
     mutable std::vector<Tick> _cachedTicks;
     mutable std::vector<char> _cacheDirectOnly;
     mutable std::vector<char> _cacheValid;
+
+    /**
+     * Which fabric tiers the cached plan read, as a bitmask of
+     * kTierIntra / kTierInter. On a multi-node fabric an intra-node
+     * pair whose plan never consulted a foreign-node relay carries
+     * kTierIntra alone, so push invalidation skips it when a network-
+     * tier link flaps — cross-node epochs invalidate independently of
+     * intra-node ones. Single-node fabrics always read kTierIntra.
+     */
+    mutable std::vector<unsigned char> _cacheTierMask;
     bool _pushInvalidation = false;
 
-    std::vector<Leg> computePlan(int src, int dst) const;
+    static constexpr unsigned char kTierIntra = 1;
+    static constexpr unsigned char kTierInter = 2;
+
+    /** Tier bit of the (a, b) link on this fabric. */
+    unsigned char tierBit(int a, int b) const;
+
+    std::vector<Leg> computePlan(int src, int dst,
+                                 unsigned char &tier_mask) const;
 
     /** Clock of the calling context: the executing shard's during
      * windows, the serial queue's otherwise. */
@@ -310,14 +327,27 @@ class Rerouter
      * best first; empty when no relay has usable bandwidth on both
      * legs. Ties break by a deterministic per-pair rotation of the
      * relay ids (load spreading without randomness).
+     *
+     * On a multi-node fabric candidates are hierarchical: relays in
+     * the endpoints' own nodes are scored first (one network hop for
+     * a cross-node pair, zero for an intra-node one), and foreign-
+     * node relays are consulted only when no endpoint-node relay has
+     * usable bandwidth. @p used_foreign, when non-null, reports
+     * whether foreign-node relays were consulted at all — even an
+     * empty fallback read network-tier links, which widens the
+     * plan's tier mask.
      */
     std::vector<std::pair<int, double>>
-    scoredRelays(int src, int dst) const;
+    scoredRelays(int src, int dst,
+                 bool *used_foreign = nullptr) const;
 
     /**
      * Shortest src -> dst relay chain over non-DOWN links, at most
      * maxRelayHops vias, lowest-id-first tie-break; empty when the
-     * destination is unreachable within the bound.
+     * destination is unreachable within the bound. Multi-node fabrics
+     * minimize network-tier hops first, then edge count, so a detour
+     * never crosses a node boundary more often than the surviving
+     * topology forces it to.
      */
     std::vector<int> bfsVias(int src, int dst) const;
 

@@ -260,6 +260,41 @@ envReprofileChargeEnabled()
     return envFlagEnabled("PROACT_REPROFILE_CHARGE");
 }
 
+int
+envNodes()
+{
+    return static_cast<int>(envDouble("PROACT_NODES", 1.0, 1.0, 64.0));
+}
+
+PlatformSpec
+envMultiNodePlatform(int gpus_per_node)
+{
+    const int nodes = envNodes();
+    if (nodes <= 1)
+        return dgx2Platform();
+    PlatformSpec platform = multiNodePlatform(nodes, gpus_per_node);
+    FabricSpec &fabric = platform.fabric;
+
+    const double bw_gbps = envDouble(
+        "PROACT_INTER_BW_GBPS",
+        fabric.interPerGpuBidirBandwidth / 1e9, 1.0, 400.0);
+    fabric.interPerGpuBidirBandwidth = bw_gbps * 1e9;
+
+    const double latency_us = envDouble(
+        "PROACT_INTER_LATENCY_US",
+        static_cast<double>(fabric.interLatency)
+            / static_cast<double>(ticksPerMicrosecond),
+        0.0, 1e6);
+    Tick latency = static_cast<Tick>(
+        latency_us * static_cast<double>(ticksPerMicrosecond));
+    // The network tier must never undercut the intra-node latency:
+    // that is the sharded engine's conservative lookahead floor.
+    if (latency < fabric.latency)
+        latency = fabric.latency;
+    fabric.interLatency = latency;
+    return platform;
+}
+
 RetryPolicy
 envRetryPolicy()
 {

@@ -17,6 +17,7 @@
 #include "health/link_health.hh"
 #include "interconnect/rerouter.hh"
 #include "sim/types.hh"
+#include "system/platform.hh"
 
 #include <cstdint>
 #include <string>
@@ -228,6 +229,33 @@ DeviceHealthPolicy envDeviceHealthPolicy();
 
 /** Whether PROACT_REPROFILE_CHARGE charges online sweeps. */
 bool envReprofileChargeEnabled();
+/** @} */
+
+/** @{ @name Multi-node fabric knobs
+ *
+ * Benchmarks scale from one DGX-2 chassis to a hierarchical N-node
+ * fabric without recompiling:
+ *  - PROACT_NODES            chassis count for environment-built
+ *                            platforms (default 1 = one DGX-2,
+ *                            clamp [1, 64])
+ *  - PROACT_INTER_BW_GBPS    per-GPU bidirectional network-tier
+ *                            bandwidth in GB/s (default 12.5, clamp
+ *                            [1, 400])
+ *  - PROACT_INTER_LATENCY_US network-tier one-way latency in
+ *                            microseconds (default 2.5; clamped up
+ *                            to the intra-node latency so the
+ *                            sharded engine's lookahead floor holds)
+ */
+
+/** Node count from PROACT_NODES. */
+int envNodes();
+
+/**
+ * Environment-selected platform: one DGX-2 when PROACT_NODES is
+ * unset or 1, otherwise multiNodePlatform(envNodes(), gpus_per_node)
+ * with the PROACT_INTER_* network-tier overrides applied.
+ */
+PlatformSpec envMultiNodePlatform(int gpus_per_node = 16);
 /** @} */
 
 } // namespace proact

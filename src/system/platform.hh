@@ -50,6 +50,20 @@ PlatformSpec voltaPlatform();
 /** 16x Tesla V100-32GB over NVSwitch, i.e. DGX-2 (Table I column 4). */
 PlatformSpec dgx2Platform();
 
+/**
+ * Hierarchical multi-node platform: @p nodes DGX-2-style chassis of
+ * @p gpus_per_node V100s each. Pairs inside a node ride the chassis
+ * NVSwitch tier; pairs crossing a node boundary ride an HDR-IB-class
+ * network tier (ibFabric) with its own bandwidth, latency and
+ * packetization curve. Built on PairwiseLinks so every directed pair
+ * owns a channel and the sharded engine's conservative contract is
+ * satisfiable: the fabric's base latency stays the intra-node
+ * (minimum) hop delay, the inter-node latency is strictly larger.
+ *
+ * @p nodes must be >= 2 and @p gpus_per_node >= 2.
+ */
+PlatformSpec multiNodePlatform(int nodes, int gpus_per_node = 16);
+
 /** The three 4-GPU platforms used in Figs. 6-9. */
 std::vector<PlatformSpec> quadPlatforms();
 
@@ -75,26 +89,41 @@ constexpr int dgx2NumSwitchPlanes = 6;
 /** GPUs per DGX-2 baseboard. */
 constexpr int dgx2GpusPerBaseboard = 8;
 
-/** GPU ids of baseboard @p board (0 => {0..7}, 1 => {8..15}). */
-std::vector<int> dgx2Baseboard(int board);
+/**
+ * GPU ids of baseboard @p board (0 => {0..7}, 1 => {8..15}), shifted
+ * by @p first_gpu so the same chassis builder addresses node k of a
+ * multi-node platform (first_gpu = k * gpusPerNode).
+ */
+std::vector<int> dgx2Baseboard(int board, int first_gpu = 0);
 
 /**
  * @p planes of the six NVSwitch planes die for [start, end):
- * every directed pair among the 16 GPUs loses planes/6 of its
- * bandwidth, as one correlated plane group. @p planes in [1, 5] —
- * all six dying is a chassis loss no reroute can survive.
+ * every directed pair among the chassis' 16 GPUs (ids first_gpu ..
+ * first_gpu+15) loses planes/6 of its bandwidth, as one correlated
+ * plane group. @p planes in [1, 5] — all six dying is a chassis loss
+ * no reroute can survive.
  */
 FaultPlan &dgx2DownSwitchPlanes(FaultPlan &plan, Tick start, Tick end,
-                                int planes = 1);
+                                int planes = 1, int first_gpu = 0);
 
 /**
  * Baseboard @p board's switch complex dies for [start, end): all
  * intra-board directed pairs go DOWN as one correlated group.
  * Cross-board pairs survive on the other board's switches, so
  * multi-relay routes through the healthy board remain plannable.
+ * @p first_gpu addresses the chassis of one node (see dgx2Baseboard).
  */
 FaultPlan &dgx2DownBaseboard(FaultPlan &plan, Tick start, Tick end,
-                             int board);
+                             int board, int first_gpu = 0);
+
+/**
+ * Node @p node of @p platform dies whole for [start, end): every GPU
+ * in the node goes down as one correlated device group (the fabric
+ * refuses its deliveries, the watchdog declares the devices LOST, and
+ * every link touching the node follows). Requires a multiNode fabric.
+ */
+FaultPlan &nodeDown(FaultPlan &plan, const PlatformSpec &platform,
+                    Tick start, Tick end, int node);
 /** @} */
 
 } // namespace proact

@@ -253,6 +253,68 @@ TEST(Dgx2FaultPlanTest, ChassisBuildersExpandCorrectly)
     }
 }
 
+TEST(Dgx2FaultPlanTest, ChassisBuildersComposeWithNodeOffset)
+{
+    // The same chassis builders target the second node of a 2x16
+    // platform through the first_gpu offset.
+    const int offset = numGpus;
+    EXPECT_EQ(dgx2Baseboard(0, offset).front(), 16);
+    EXPECT_EQ(dgx2Baseboard(0, offset).back(), 23);
+    EXPECT_EQ(dgx2Baseboard(1, offset).front(), 24);
+    EXPECT_EQ(dgx2Baseboard(1, offset).back(), 31);
+    EXPECT_THROW(dgx2Baseboard(0, -1), FatalError);
+
+    {
+        FaultPlan plan;
+        dgx2DownBaseboard(plan, 0, maxTick, 1, offset);
+        EXPECT_NO_THROW(plan.validate(2 * numGpus));
+        EXPECT_EQ(plan.episodes.size(),
+                  static_cast<std::size_t>(dgx2GpusPerBaseboard
+                                           * (dgx2GpusPerBaseboard
+                                              - 1)));
+        for (const auto &e : plan.episodes) {
+            EXPECT_GE(e.src, offset + dgx2GpusPerBaseboard);
+            EXPECT_GE(e.dst, offset + dgx2GpusPerBaseboard);
+            EXPECT_LT(e.src, 2 * numGpus);
+            EXPECT_LT(e.dst, 2 * numGpus);
+        }
+        // An offset plan names GPUs a single chassis does not have.
+        EXPECT_THROW(plan.validate(numGpus), FatalError);
+    }
+    {
+        FaultPlan plan;
+        dgx2DownSwitchPlanes(plan, 0, maxTick,
+                             dgx2NumSwitchPlanes / 2, offset);
+        EXPECT_NO_THROW(plan.validate(2 * numGpus));
+        EXPECT_EQ(plan.episodes.size(),
+                  static_cast<std::size_t>(numGpus * (numGpus - 1)));
+        for (const auto &e : plan.episodes) {
+            EXPECT_GE(e.src, offset);
+            EXPECT_GE(e.dst, offset);
+        }
+    }
+}
+
+TEST(Dgx2FaultPlanTest, NodeDownBuilder)
+{
+    const PlatformSpec platform = multiNodePlatform(2, numGpus);
+    FaultPlan plan;
+    nodeDown(plan, platform, 0, maxTick, 1);
+    EXPECT_NO_THROW(plan.validate(platform.numGpus));
+    EXPECT_EQ(plan.episodes.size(), static_cast<std::size_t>(numGpus));
+    for (const auto &e : plan.episodes) {
+        EXPECT_EQ(e.kind, FaultKind::GpuDown);
+        EXPECT_GE(e.gpu, numGpus);
+        EXPECT_LT(e.gpu, 2 * numGpus);
+    }
+
+    FaultPlan bad;
+    EXPECT_THROW(nodeDown(bad, dgx2Platform(), 0, maxTick, 0),
+                 FatalError);
+    EXPECT_THROW(nodeDown(bad, platform, 0, maxTick, 2), FatalError);
+    EXPECT_THROW(nodeDown(bad, platform, 0, maxTick, -1), FatalError);
+}
+
 TEST(Dgx2RerouteTest, EpochCacheInvalidatesExactly)
 {
     MultiGpuSystem system(dgx2Platform());

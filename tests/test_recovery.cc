@@ -462,6 +462,49 @@ TEST(RecoveryFleet, ElectionSweepsChargeTenantsWhenAsked)
               first.tenants.at(0).serviceTicks);
 }
 
+TEST(RecoveryFleet, ElectedAtTickMovesWhenChargingIsOn)
+{
+    const std::vector<JobSpec> jobs = {fixedJob(0, "Jacobi", 4)};
+
+    auto serve_one = [&](bool charge) {
+        FleetSession::Options options;
+        options.chargeElections = charge;
+        FleetSession session(voltaPlatform(), options);
+        const FleetReport report = session.serve(jobs);
+        return report.tenants.at(0);
+    };
+
+    // Free sweeps: the decision lands at admission.
+    const TenantRecord free_rec = serve_one(false);
+    EXPECT_EQ(free_rec.electedAt, free_rec.admitted);
+
+    // Charged: the cache-miss sweep runs on the timeline before the
+    // tenant's kernels, so the elected-at tick moves past admission
+    // by exactly the charged cost.
+    const TenantRecord paid = serve_one(true);
+    EXPECT_GT(paid.electionSweepTicks, Tick{0});
+    EXPECT_GT(paid.electedAt, paid.admitted);
+    EXPECT_EQ(paid.electedAt,
+              paid.admitted + paid.electionSweepTicks);
+}
+
+TEST(RecoveryFleet, ElectionChargeDefaultsFromEnvironment)
+{
+    // The fleet face of PROACT_REPROFILE_CHARGE: the option's default
+    // follows the environment so benches arm it without plumbing.
+    setenv("PROACT_REPROFILE_CHARGE", "1", 1);
+    const FleetSession::Options armed;
+    EXPECT_TRUE(armed.chargeElections);
+
+    setenv("PROACT_REPROFILE_CHARGE", "0", 1);
+    const FleetSession::Options disarmed;
+    EXPECT_FALSE(disarmed.chargeElections);
+
+    unsetenv("PROACT_REPROFILE_CHARGE");
+    const FleetSession::Options unset;
+    EXPECT_FALSE(unset.chargeElections);
+}
+
 namespace {
 
 /** Fleet options arming recovery with a mid-run GPU loss for

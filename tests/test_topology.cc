@@ -8,6 +8,7 @@
 #include "interconnect/interconnect.hh"
 #include "proact/transfer_agent.hh"
 #include "gpu/gpu_spec.hh"
+#include "system/platform.hh"
 
 #include "sim/logging.hh"
 
@@ -116,6 +117,33 @@ TEST(Topology, SingleGpuPairwiseHasNoLinks)
 {
     EventQueue eq;
     EXPECT_NO_THROW(Interconnect(eq, pairwiseNvlink2(), 1));
+}
+
+TEST(Topology, MultiNodeTierAccessors)
+{
+    EventQueue eq;
+    const PlatformSpec platform = multiNodePlatform(2, 4);
+    Interconnect fab(eq, platform.fabric, platform.numGpus);
+    ASSERT_TRUE(fab.pairwise());
+
+    // Node membership: GPUs 0..3 vs 4..7.
+    EXPECT_FALSE(fab.interNodePair(0, 3));
+    EXPECT_TRUE(fab.interNodePair(0, 4));
+    EXPECT_TRUE(fab.interNodePair(7, 0));
+
+    // The network tier is slower, farther, and coarser than the
+    // chassis tier — and the per-pair channels carry exactly that.
+    EXPECT_LT(fab.nominalPairRate(0, 4), fab.nominalPairRate(0, 1));
+    EXPECT_GT(fab.pairLatency(0, 4), fab.pairLatency(0, 1));
+    EXPECT_GT(fab.pairPacketModel(0, 4).maxPayloadBytes,
+              fab.pairPacketModel(0, 1).maxPayloadBytes);
+    EXPECT_EQ(fab.pairLink(0, 4).rate(), fab.nominalPairRate(0, 4));
+    EXPECT_EQ(fab.pairLink(0, 4).latency(), fab.pairLatency(0, 4));
+
+    // The base latency stays the intra (minimum) latency: it is the
+    // sharded engine's conservative lookahead floor.
+    EXPECT_EQ(platform.fabric.latency, nvswitchFabric().latency);
+    EXPECT_GE(platform.fabric.interLatency, platform.fabric.latency);
 }
 
 namespace {
